@@ -1,0 +1,108 @@
+// Ablation (ours, beyond the paper's tables): how the pieces of the system
+// contribute to the delay of ranked enumeration.
+//
+//  A. Cost-function ablation: a single MinTriang pass under each standard
+//     split-monotone cost — the DP cost is dominated by per-(block, Ω)
+//     Combine calls, so heavier bag scores cost proportionally more.
+//  B. Initialization split: minimal separators vs PMCs vs DP wiring,
+//     justifying the shared-context design (RankedTriang re-uses one
+//     context across all Lawler-Murty optimizer calls; Section 7.1).
+//  C. Constraint overhead: MinTriang under κ[I,X] with growing |I| + |X|.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "cost/constrained_cost.h"
+#include "cost/standard_costs.h"
+#include "util/table_printer.h"
+#include "workloads/graphical_models.h"
+#include "workloads/named_graphs.h"
+
+namespace {
+
+using namespace mintri;
+using namespace mintri::bench;
+
+double TimeIt(const std::function<void()>& fn, int repeats = 5) {
+  WallTimer timer;
+  for (int i = 0; i < repeats; ++i) fn();
+  return timer.Seconds() / repeats;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::pair<std::string, Graph>> graphs = {
+      {"grid5x5", workloads::Grid(5, 5)},
+      {"myciel4", workloads::Mycielski(4)},
+      {"objdet", workloads::ObjectDetectionGraph(11, 0.45, 4, 7)},
+      {"dbn", workloads::DbnChain(4, 6, 0.3, 0.25, 603)},
+  };
+
+  std::cout << "=== Ablation A: MinTriang per cost function ===\n\n";
+  TablePrinter a({"graph", "#seps", "#pmcs", "width(ms)", "fill(ms)",
+                  "lex(ms)", "state-space(ms)"});
+  for (auto& [name, g] : graphs) {
+    auto ctx = TriangulationContext::Build(g);
+    if (!ctx.has_value()) continue;
+    WidthCost width;
+    FillInCost fill;
+    WidthThenFillCost lex;
+    auto space = TotalStateSpaceCost::Uniform(g.NumVertices(), 2.0);
+    a.AddRow({name, TablePrinter::Int(ctx->minimal_separators().size()),
+              TablePrinter::Int(ctx->pmcs().size()),
+              TablePrinter::Num(1e3 * TimeIt([&] { MinTriang(*ctx, width); }), 2),
+              TablePrinter::Num(1e3 * TimeIt([&] { MinTriang(*ctx, fill); }), 2),
+              TablePrinter::Num(1e3 * TimeIt([&] { MinTriang(*ctx, lex); }), 2),
+              TablePrinter::Num(1e3 * TimeIt([&] { MinTriang(*ctx, *space); }),
+                                2)});
+  }
+  a.Print(std::cout);
+
+  std::cout << "\n=== Ablation B: initialization split ===\n\n";
+  TablePrinter b({"graph", "minseps(ms)", "pmcs(ms)", "wiring(ms)",
+                  "one MinTriang(ms)"});
+  for (auto& [name, g] : graphs) {
+    double t_seps = TimeIt([&] { ListMinimalSeparators(g); });
+    auto seps = ListMinimalSeparators(g).separators;
+    double t_pmcs =
+        TimeIt([&] { ListPotentialMaximalCliques(g, seps); }, 3);
+    double t_total = TimeIt([&] { TriangulationContext::Build(g); }, 3);
+    auto ctx = TriangulationContext::Build(g);
+    WidthCost width;
+    double t_dp = TimeIt([&] { MinTriang(*ctx, width); });
+    b.AddRow({name, TablePrinter::Num(1e3 * t_seps, 2),
+              TablePrinter::Num(1e3 * t_pmcs, 2),
+              TablePrinter::Num(
+                  1e3 * std::max(0.0, t_total - t_seps - t_pmcs), 2),
+              TablePrinter::Num(1e3 * t_dp, 2)});
+  }
+  b.Print(std::cout);
+  std::cout << "\n(The DP pass is much cheaper than initialization — "
+               "sharing the context across the Lawler-Murty calls is what "
+               "makes the per-result delay small.)\n";
+
+  std::cout << "\n=== Ablation C: constraint-compilation overhead ===\n\n";
+  TablePrinter c({"graph", "|I|+|X|=0", "2", "4", "8"});
+  for (auto& [name, g] : graphs) {
+    auto ctx = TriangulationContext::Build(g);
+    if (!ctx.has_value()) continue;
+    WidthCost width;
+    std::vector<std::string> row = {name};
+    for (int k : {0, 2, 4, 8}) {
+      std::vector<VertexSet> include, exclude;
+      const auto& seps = ctx->minimal_separators();
+      for (int i = 0; i < k && i < static_cast<int>(seps.size()); ++i) {
+        (i % 2 == 0 ? include : exclude).push_back(seps[i]);
+      }
+      ConstrainedCost constrained(width, include, exclude);
+      row.push_back(TablePrinter::Num(
+          1e3 * TimeIt([&] { MinTriang(*ctx, constrained); }), 2));
+    }
+    c.AddRow(std::move(row));
+  }
+  c.Print(std::cout);
+  std::cout << "\n(Per-block subset checks grow linearly in |I|+|X|, "
+               "matching Lemma 6.2's polynomial compilation.)\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Google-benchmark microbenchmarks for the core operations: component
+// expansion, crossing checks, separator enumeration, PMC enumeration,
+// LB-Triang, context construction, a single MinTriang pass, and the
+// per-result cost of ranked enumeration.
+
+#include <benchmark/benchmark.h>
+
+#include "chordal/lb_triang.h"
+#include "cost/standard_costs.h"
+#include "enumeration/ranked_enum.h"
+#include "pmc/potential_maximal_cliques.h"
+#include "separators/crossing.h"
+#include "separators/minimal_separators.h"
+#include "triang/min_triang.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace {
+
+using namespace mintri;
+
+Graph BenchGraph(int which) {
+  switch (which) {
+    case 0:
+      return workloads::Grid(4, 5);
+    case 1:
+      return workloads::ConnectedErdosRenyi(24, 0.2, 99);
+    default:
+      return workloads::Mycielski(4);
+  }
+}
+
+void BM_ComponentsAfterRemoving(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int>(state.range(0)));
+  VertexSet removed(g.NumVertices());
+  for (int v = 0; v < g.NumVertices(); v += 3) removed.Insert(v);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.ComponentsAfterRemoving(removed));
+  }
+}
+BENCHMARK(BM_ComponentsAfterRemoving)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_CrossingCheck(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int>(state.range(0)));
+  auto seps = ListMinimalSeparators(g).separators;
+  if (seps.size() < 2) {
+    state.SkipWithError("not enough separators");
+    return;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const VertexSet& a = seps[i % seps.size()];
+    const VertexSet& b = seps[(i * 7 + 1) % seps.size()];
+    benchmark::DoNotOptimize(AreParallel(g, a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_CrossingCheck)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ListMinimalSeparators(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListMinimalSeparators(g));
+  }
+}
+BENCHMARK(BM_ListMinimalSeparators)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ListPmcs(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int>(state.range(0)));
+  auto seps = ListMinimalSeparators(g).separators;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ListPotentialMaximalCliques(g, seps));
+  }
+}
+BENCHMARK(BM_ListPmcs)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_LbTriang(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LbTriangMinDegree(g));
+  }
+}
+BENCHMARK(BM_LbTriang)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_ContextBuild(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TriangulationContext::Build(g));
+  }
+}
+BENCHMARK(BM_ContextBuild)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MinTriangWidth(benchmark::State& state) {
+  Graph g = BenchGraph(static_cast<int>(state.range(0)));
+  auto ctx = TriangulationContext::Build(g);
+  WidthCost width;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinTriang(*ctx, width));
+  }
+}
+BENCHMARK(BM_MinTriangWidth)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_RankedNext(benchmark::State& state) {
+  // Amortized per-result cost of ranked enumeration (restarting the
+  // enumerator whenever it is exhausted).
+  Graph g = BenchGraph(static_cast<int>(state.range(0)));
+  auto ctx = TriangulationContext::Build(g);
+  WidthCost width;
+  auto e = std::make_unique<RankedTriangulationEnumerator>(*ctx, width);
+  for (auto _ : state) {
+    auto t = e->Next();
+    if (!t.has_value()) {
+      e = std::make_unique<RankedTriangulationEnumerator>(*ctx, width);
+    }
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_RankedNext)->Arg(0)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

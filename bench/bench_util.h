@@ -1,0 +1,172 @@
+#ifndef MINTRI_BENCH_BENCH_UTIL_H_
+#define MINTRI_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cost/standard_costs.h"
+#include "enumeration/ckk.h"
+#include "enumeration/ranked_enum.h"
+#include "triang/context.h"
+#include "util/timer.h"
+
+namespace mintri {
+namespace bench {
+
+/// All wall-clock budgets in the harness are the paper's limits scaled
+/// down so the suite runs in minutes (DESIGN.md §3). MINTRI_TIME_SCALE
+/// multiplies every budget (e.g. MINTRI_TIME_SCALE=10 for a slower, more
+/// faithful run).
+inline double TimeScale() {
+  const char* env = std::getenv("MINTRI_TIME_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+/// Scaled stand-ins for the paper's limits.
+inline double MinSepBudget() { return 0.5 * TimeScale(); }   // paper: 60 s
+inline double PmcBudget() { return 2.5 * TimeScale(); }      // paper: 30 min
+inline double EnumBudget() { return 1.5 * TimeScale(); }     // paper: 30 min
+
+inline constexpr size_t kMaxSeparators = 200000;
+inline constexpr size_t kMaxResults = 100000;
+
+/// One time-budgeted enumeration run (either algorithm), in the shape the
+/// paper's Table 2 needs: per-result timestamps, widths and fill-ins.
+struct EnumRun {
+  bool init_ok = false;     // context build finished within budget (always
+                            // true for CKK, which has no init)
+  double init_seconds = 0;  // RankedTriang initialization time
+  bool finished = false;    // the full enumeration completed within budget
+  std::vector<double> result_seconds;  // time since run start, per result
+  std::vector<int> widths;
+  std::vector<long long> fills;
+
+  long long count() const {
+    return static_cast<long long>(result_seconds.size());
+  }
+  /// Average delay between results, counting initialization.
+  double AvgDelay() const {
+    return result_seconds.empty()
+               ? 0.0
+               : result_seconds.back() / static_cast<double>(
+                                             result_seconds.size());
+  }
+  /// Average delay after initialization.
+  double AvgDelayNoInit() const {
+    if (result_seconds.empty()) return 0.0;
+    return (result_seconds.back() - init_seconds) /
+           static_cast<double>(result_seconds.size());
+  }
+  int MinWidth() const {
+    int m = -1;
+    for (int w : widths) m = (m < 0 || w < m) ? w : m;
+    return m;
+  }
+  long long MinFill() const {
+    long long m = -1;
+    for (long long f : fills) m = (m < 0 || f < m) ? f : m;
+    return m;
+  }
+  long long CountWidthAtMost(double bound) const {
+    long long c = 0;
+    for (int w : widths) c += (w <= bound) ? 1 : 0;
+    return c;
+  }
+  long long CountFillAtMost(double bound) const {
+    long long c = 0;
+    for (long long f : fills) c += (f <= bound) ? 1 : 0;
+    return c;
+  }
+};
+
+/// Runs RankedTriang⟨cost⟩ for `budget` seconds (including initialization).
+inline EnumRun RunRankedTriang(const Graph& g, const BagCost& cost,
+                               double budget) {
+  EnumRun run;
+  WallTimer timer;
+  ContextOptions options;
+  options.separator_limits.time_limit_seconds = budget;
+  options.separator_limits.max_results = kMaxSeparators;
+  options.pmc_limits.time_limit_seconds = budget;
+  auto ctx = TriangulationContext::Build(g, options);
+  run.init_seconds = timer.Seconds();
+  if (!ctx.has_value() || run.init_seconds >= budget) return run;
+  run.init_ok = true;
+
+  RankedTriangulationEnumerator e(*ctx, cost);
+  while (timer.Seconds() < budget &&
+         run.result_seconds.size() < kMaxResults) {
+    auto t = e.Next();
+    if (!t.has_value()) {
+      run.finished = true;
+      break;
+    }
+    run.result_seconds.push_back(timer.Seconds());
+    run.widths.push_back(t->Width());
+    run.fills.push_back(t->FillIn(g));
+  }
+  return run;
+}
+
+/// Runs the CKK baseline for `budget` seconds.
+inline EnumRun RunCkk(const Graph& g, double budget) {
+  EnumRun run;
+  run.init_ok = true;  // CKK has no initialization step
+  WallTimer timer;
+  CkkEnumerator e(g);
+  while (timer.Seconds() < budget &&
+         run.result_seconds.size() < kMaxResults) {
+    auto t = e.Next();
+    if (!t.has_value()) {
+      run.finished = true;
+      break;
+    }
+    run.result_seconds.push_back(timer.Seconds());
+    run.widths.push_back(t->Width());
+    run.fills.push_back(t->FillIn(g));
+  }
+  return run;
+}
+
+/// MinSep-then-PMC tractability probe for Fig. 5.
+enum class Tractability { kTerminated, kMsTerminated, kNotTerminated };
+
+struct TractabilityProbe {
+  Tractability status = Tractability::kNotTerminated;
+  size_t num_separators = 0;
+  size_t num_pmcs = 0;
+  double minsep_seconds = 0;
+  double pmc_seconds = 0;
+};
+
+inline TractabilityProbe ProbeGraph(const Graph& g) {
+  TractabilityProbe probe;
+  WallTimer timer;
+  EnumerationLimits sep_limits;
+  sep_limits.time_limit_seconds = MinSepBudget();
+  sep_limits.max_results = kMaxSeparators;
+  auto seps = ListMinimalSeparators(g, sep_limits);
+  probe.minsep_seconds = timer.Seconds();
+  if (seps.status != EnumerationStatus::kComplete) return probe;
+  probe.num_separators = seps.separators.size();
+  probe.status = Tractability::kMsTerminated;
+
+  timer.Reset();
+  PmcOptions pmc_options;
+  pmc_options.limits.time_limit_seconds = PmcBudget();
+  auto pmcs = ListPotentialMaximalCliques(g, seps.separators, pmc_options);
+  probe.pmc_seconds = timer.Seconds();
+  if (pmcs.status != EnumerationStatus::kComplete) return probe;
+  probe.num_pmcs = pmcs.pmcs.size();
+  probe.status = Tractability::kTerminated;
+  return probe;
+}
+
+}  // namespace bench
+}  // namespace mintri
+
+#endif  // MINTRI_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,85 @@
+// Junction-tree construction for probabilistic inference: enumerate proper
+// tree decompositions of a grid MRF ranked by the total clique-table size
+// Σ_bags ∏ domain(v) — the actual memory/time cost of Lauritzen–Spiegelhalter
+// message passing, one of the "specialized costs not covered by the
+// classics" that motivates the paper.
+//
+//   build/examples/bayesian_junction_tree [rows cols]
+//
+// Shows that minimizing width alone is NOT the same as minimizing inference
+// cost when variables have different domain sizes: the example gives the
+// boundary rows large domains, so the best junction tree avoids fat bags on
+// the boundary even at equal width.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cost/standard_costs.h"
+#include "enumeration/ranked_enum.h"
+#include "workloads/named_graphs.h"
+
+int main(int argc, char** argv) {
+  using namespace mintri;
+  int rows = argc > 2 ? std::atoi(argv[1]) : 4;
+  int cols = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  Graph g = workloads::Grid(rows, cols);
+  std::printf("Grid MRF %dx%d: %d variables, %d potentials\n", rows, cols,
+              g.NumVertices(), g.NumEdges());
+
+  // Domain sizes: boundary-row variables are high-cardinality (say, image
+  // intensities), inner ones binary.
+  std::vector<double> domains(g.NumVertices(), 2.0);
+  for (int c = 0; c < cols; ++c) {
+    domains[c] = 8.0;                      // first row
+    domains[(rows - 1) * cols + c] = 8.0;  // last row
+  }
+
+  auto ctx = TriangulationContext::Build(g);
+  if (!ctx.has_value()) {
+    std::printf("initialization exceeded limits; use a smaller grid\n");
+    return 1;
+  }
+  std::printf("Initialization: %zu minimal separators, %zu PMCs, %.3fs\n",
+              ctx->minimal_separators().size(), ctx->pmcs().size(),
+              ctx->init_seconds());
+
+  WidthCost width;
+  TotalStateSpaceCost table_size(domains);
+
+  // The width-optimal junction tree.
+  RankedTriangulationEnumerator by_width(*ctx, width);
+  auto w_opt = by_width.Next();
+  if (!w_opt.has_value()) return 1;
+  double w_opt_tables = table_size.Evaluate(g, w_opt->bags);
+  std::printf("\nWidth-optimal junction tree: width=%d, total table size "
+              "%.0f entries\n",
+              w_opt->Width(), w_opt_tables);
+
+  // The inference-optimal junction tree, by ranked enumeration.
+  RankedTriangulationEnumerator by_tables(*ctx, table_size);
+  auto t_opt = by_tables.Next();
+  if (!t_opt.has_value()) return 1;
+  std::printf("Table-size-optimal junction tree: width=%d, total table size "
+              "%.0f entries\n",
+              t_opt->Width(), t_opt->cost);
+  if (t_opt->cost < w_opt_tables) {
+    std::printf("  -> %.1f%% smaller clique tables than the width-optimal "
+                "tree at width %d vs %d\n",
+                100.0 * (1.0 - t_opt->cost / w_opt_tables), t_opt->Width(),
+                w_opt->Width());
+  }
+
+  // Top-5 by inference cost, so the application can re-score further
+  // (e.g., with machine-learned costs per Abseher et al.).
+  std::printf("\nTop junction trees by inference cost:\n");
+  RankedTriangulationEnumerator top(*ctx, table_size);
+  for (int k = 1; k <= 5; ++k) {
+    auto t = top.Next();
+    if (!t.has_value()) break;
+    std::printf("  #%d: tables=%.0f width=%d fill=%lld bags=%zu\n", k,
+                t->cost, t->Width(), t->FillIn(g), t->bags.size());
+  }
+  return 0;
+}

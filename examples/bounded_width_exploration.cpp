@@ -1,0 +1,59 @@
+// Bounded-width enumeration (Theorem 4.5 / MinTriangB): enumerate all
+// minimal triangulations of width <= b WITHOUT assuming poly-MS — the
+// context only materializes separators of size <= b and PMCs of size
+// <= b+1.
+//
+//   build/examples/bounded_width_exploration
+//
+// Sweeps the bound b on the Grötzsch graph (Mycielski(4)) and reports how
+// many width-<=b minimal triangulations exist, demonstrating that the
+// bounded context is much smaller than the unbounded one.
+
+#include <cstdio>
+
+#include "cost/standard_costs.h"
+#include "enumeration/ranked_enum.h"
+#include "workloads/named_graphs.h"
+
+int main() {
+  using namespace mintri;
+  Graph g = workloads::Mycielski(4);  // Grötzsch graph, treewidth 5
+  std::printf("Grotzsch graph: %d vertices, %d edges\n", g.NumVertices(),
+              g.NumEdges());
+
+  auto full = TriangulationContext::Build(g);
+  if (!full.has_value()) return 1;
+  std::printf("Unbounded context: %zu separators, %zu PMCs\n\n",
+              full->minimal_separators().size(), full->pmcs().size());
+
+  WidthCost width;
+  for (int b = 4; b <= 7; ++b) {
+    ContextOptions options;
+    options.width_bound = b;
+    auto ctx = TriangulationContext::Build(g, options);
+    if (!ctx.has_value()) continue;
+
+    RankedTriangulationEnumerator e(*ctx, width);
+    long long count = 0;
+    int min_w = -1, max_w = -1;
+    while (auto t = e.Next()) {
+      if (count == 0) min_w = t->Width();
+      max_w = t->Width();
+      ++count;
+      if (count >= 100000) break;
+    }
+    std::printf("b=%d: %4zu separators, %4zu PMCs -> %6lld minimal "
+                "triangulations of width <= %d",
+                b, ctx->minimal_separators().size(), ctx->pmcs().size(),
+                count, b);
+    if (count > 0) {
+      std::printf("  (widths %d..%d, ranked)", min_w, max_w);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nNote: b below the treewidth yields zero results; the "
+              "bounded context stays small even when the unbounded one "
+              "would blow up.\n");
+  return 0;
+}

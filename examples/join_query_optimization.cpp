@@ -1,0 +1,97 @@
+// Join-query optimization: pick a tree decomposition of a TPC-H join graph
+// under an application-specific cost, in the style of Kalinsky et al. (Trie
+// joins, EDBT 2017), which the paper cites as a motivation: isomorphic
+// minimum-width decompositions can differ by orders of magnitude at
+// execution time, so the application wants MANY low-cost candidates to
+// re-score with its own model — exactly what ranked enumeration provides.
+//
+//   build/examples/join_query_optimization [query_number]
+//
+// The custom cost here models caching-aware join evaluation: each bag costs
+// the product of its relations' estimated sizes (the intermediate result it
+// materializes), and the decomposition pays the sum over bags. The example
+// enumerates decompositions by increasing width and re-scores the top
+// candidates with the cache model; then it enumerates directly by the cache
+// cost (possible because it is a split-monotone bag cost) and shows both
+// agree on the winner.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/standard_costs.h"
+#include "enumeration/ranked_enum.h"
+#include "workloads/tpch_queries.h"
+
+int main(int argc, char** argv) {
+  using namespace mintri;
+  int query = argc > 1 ? std::atoi(argv[1]) : 8;  // Q8: 8 relations, cyclic
+
+  workloads::TpchQuery q = workloads::TpchQueryGraph(query);
+  if (!q.graph.IsConnected()) {
+    std::printf("Q%d is a cross product; decompose each side separately.\n",
+                q.number);
+    return 0;
+  }
+  std::printf("TPC-H Q%d join graph: %d relations, %d join predicates\n",
+              q.number, q.graph.NumVertices(), q.graph.NumEdges());
+
+  // Cardinalities (scale factor 1, rounded, in thousands).
+  std::map<std::string, double> base_sizes = {
+      {"lineitem", 6000}, {"orders", 1500},  {"partsupp", 800},
+      {"part", 200},      {"customer", 150}, {"supplier", 10},
+      {"nation", 0.025},  {"region", 0.005}};
+  std::vector<double> sizes(q.relations.size(), 1.0);
+  for (size_t i = 0; i < q.relations.size(); ++i) {
+    for (const auto& [prefix, s] : base_sizes) {
+      if (q.relations[i].rfind(prefix, 0) == 0) sizes[i] = s;
+    }
+  }
+
+  auto ctx = TriangulationContext::Build(q.graph);
+  if (!ctx.has_value()) {
+    std::printf("initialization failed (unexpected for TPC-H-size graphs)\n");
+    return 1;
+  }
+
+  // Phase 1: enumerate by width, re-score with the cache model.
+  WidthCost width;
+  TotalStateSpaceCost cache_model(sizes);
+  RankedTriangulationEnumerator by_width(*ctx, width);
+  std::printf("\nBy increasing width, re-scored with the caching model:\n");
+  double best_rescore = -1;
+  int rank = 0;
+  while (auto t = by_width.Next()) {
+    double score = cache_model.Evaluate(q.graph, t->bags);
+    if (best_rescore < 0 || score < best_rescore) best_rescore = score;
+    std::printf("  #%d width=%d  cache-cost=%.3f  (%zu bags)\n", ++rank,
+                t->Width(), score, t->bags.size());
+    if (rank >= 10) break;
+  }
+
+  // Phase 2: enumerate directly by the cache model (split-monotone).
+  RankedTriangulationEnumerator by_cache(*ctx, cache_model);
+  auto best = by_cache.Next();
+  if (!best.has_value()) return 1;
+  std::printf("\nDirect ranked enumeration by the caching cost:\n");
+  std::printf("  best cache-cost=%.3f width=%d\n", best->cost,
+              best->Width());
+  std::printf("  bags (joined relation groups):\n");
+  for (const auto& bag : best->bags) {
+    std::printf("    {");
+    bool first = true;
+    bag.ForEach([&](int v) {
+      std::printf("%s%s", first ? "" : ", ", q.relations[v].c_str());
+      first = false;
+    });
+    std::printf("}\n");
+  }
+  if (best_rescore >= 0 && best->cost <= best_rescore + 1e-9) {
+    std::printf("\nDirect ranking found a plan at least as good as the "
+                "width-then-rescore pipeline (%.3f <= %.3f).\n",
+                best->cost, best_rescore);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "chordal/clique_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "chordal/chordality.h"
+
+namespace mintri {
+
+std::vector<VertexSet> MaximalCliquesOfChordal(const Graph& g) {
+  const int n = g.NumVertices();
+  std::vector<int> elim = PerfectEliminationOrdering(g);
+  std::vector<int> position(n);
+  for (int i = 0; i < n; ++i) position[elim[i]] = i;
+
+  // Candidate cliques: v together with its later-eliminated neighbors.
+  std::vector<VertexSet> candidates;
+  candidates.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    int v = elim[i];
+    VertexSet c = VertexSet::Single(n, v);
+    g.Neighbors(v).ForEach([&](int w) {
+      if (position[w] > i) c.Insert(w);
+    });
+    candidates.push_back(std::move(c));
+  }
+  // Keep the inclusion-maximal ones. A chordal graph has <= n maximal
+  // cliques, so the quadratic filter is cheap.
+  std::vector<VertexSet> maximal;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < candidates.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (candidates[i].IsSubsetOf(candidates[j]) &&
+          !(candidates[j].IsSubsetOf(candidates[i]) && i < j)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) maximal.push_back(candidates[i]);
+  }
+  return maximal;
+}
+
+CliqueTree BuildCliqueTree(const Graph& g) {
+  CliqueTree tree;
+  tree.cliques = MaximalCliquesOfChordal(g);
+  const int k = static_cast<int>(tree.cliques.size());
+  if (k <= 1) return tree;
+
+  // Prim's algorithm for a maximum-weight spanning tree of the clique graph,
+  // where weight(i, j) = |Ci ∩ Cj|. Any maximum spanning tree is a clique
+  // tree (Jordan); zero-weight edges join different components of g, giving
+  // a single tree whose empty adhesions are vacuously junction-consistent.
+  std::vector<bool> in_tree(k, false);
+  std::vector<int> best_weight(k, -1);
+  std::vector<int> best_parent(k, -1);
+  in_tree[0] = true;
+  for (int j = 1; j < k; ++j) {
+    best_weight[j] = tree.cliques[0].Intersect(tree.cliques[j]).Count();
+    best_parent[j] = 0;
+  }
+  for (int step = 1; step < k; ++step) {
+    int pick = -1;
+    for (int j = 0; j < k; ++j) {
+      if (!in_tree[j] && (pick == -1 || best_weight[j] > best_weight[pick])) {
+        pick = j;
+      }
+    }
+    in_tree[pick] = true;
+    tree.edges.emplace_back(best_parent[pick], pick);
+    for (int j = 0; j < k; ++j) {
+      if (in_tree[j]) continue;
+      int w = tree.cliques[pick].Intersect(tree.cliques[j]).Count();
+      if (w > best_weight[j]) {
+        best_weight[j] = w;
+        best_parent[j] = pick;
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<VertexSet> MinimalSeparatorsOfChordal(const Graph& g) {
+  CliqueTree tree = BuildCliqueTree(g);
+  std::set<VertexSet> seps;
+  for (const auto& [i, j] : tree.edges) {
+    VertexSet adhesion = tree.cliques[i].Intersect(tree.cliques[j]);
+    if (!adhesion.Empty()) seps.insert(std::move(adhesion));
+  }
+  return {seps.begin(), seps.end()};
+}
+
+}  // namespace mintri

@@ -1,0 +1,38 @@
+#include "chordal/lb_triang.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace mintri {
+
+Graph LbTriang(const Graph& g, const std::vector<int>& order) {
+  assert(static_cast<int>(order.size()) == g.NumVertices());
+  Graph h = g;
+  for (int x : order) {
+    // Components of H \ N_H[x]; their neighborhoods are the minimal
+    // separators of H included in N_H(x). Saturating them only adds edges
+    // inside N_H(x), which does not disturb the other components, so the
+    // component list can be computed once per step.
+    std::vector<VertexSet> components =
+        h.ComponentsAfterRemoving(h.ClosedNeighborhood(x));
+    std::vector<VertexSet> separators;
+    separators.reserve(components.size());
+    for (const VertexSet& c : components) {
+      separators.push_back(h.NeighborhoodOfSet(c));
+    }
+    for (const VertexSet& s : separators) h.SaturateSet(s);
+  }
+  return h;
+}
+
+Graph LbTriangMinDegree(const Graph& g) {
+  std::vector<int> order(g.NumVertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return g.Neighbors(a).Count() < g.Neighbors(b).Count();
+  });
+  return LbTriang(g, order);
+}
+
+}  // namespace mintri

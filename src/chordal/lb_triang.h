@@ -1,0 +1,26 @@
+#ifndef MINTRI_CHORDAL_LB_TRIANG_H_
+#define MINTRI_CHORDAL_LB_TRIANG_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mintri {
+
+/// LB-Triang (Berry, Bordat, Heggernes, Simonet, Villanger 2006): computes a
+/// minimal triangulation of g from an arbitrary vertex ordering. This is the
+/// black-box triangulator that the CKK baseline uses, exactly as in the
+/// paper's experiments ("we used the algorithm LB_TRIANG for this matter").
+///
+/// At the step of vertex x, the minimal separators of the current fill graph
+/// H that are included in N_H(x) are precisely the sets N_H(C) for the
+/// connected components C of H \ N_H[x]; each such set is saturated.
+Graph LbTriang(const Graph& g, const std::vector<int>& order);
+
+/// LB-Triang with a min-degree vertex ordering (a common default that tends
+/// to produce low-width, low-fill triangulations).
+Graph LbTriangMinDegree(const Graph& g);
+
+}  // namespace mintri
+
+#endif  // MINTRI_CHORDAL_LB_TRIANG_H_

@@ -1,0 +1,59 @@
+#include "chordal/mcs_m.h"
+
+#include <vector>
+
+namespace mintri {
+
+Graph McsM(const Graph& g) {
+  const int n = g.NumVertices();
+  Graph h = g;
+  std::vector<int> weight(n, 0);
+  std::vector<bool> visited(n, false);
+
+  for (int step = 0; step < n; ++step) {
+    int v = -1;
+    for (int u = 0; u < n; ++u) {
+      if (!visited[u] && (v == -1 || weight[u] > weight[v])) v = u;
+    }
+    visited[v] = true;
+
+    // For every unvisited u: u "reaches" v if there is a path
+    // u, x_1, ..., x_k, v in G whose intermediates x_i are unvisited and
+    // have weight[x_i] < weight[u]. Compute per-u by a BFS from v over
+    // low-weight unvisited intermediates.
+    std::vector<int> bumped;
+    for (int u = 0; u < n; ++u) {
+      if (visited[u] || u == v) continue;
+      // BFS from v through unvisited intermediates x (x != u) with
+      // weight[x] < weight[u]; u reaches v iff u is adjacent (in G) to v or
+      // to a reached intermediate.
+      VertexSet reached = VertexSet::Single(n, v);
+      VertexSet frontier = reached;
+      bool reaches = g.HasEdge(u, v);
+      while (!frontier.Empty() && !reaches) {
+        VertexSet next(n);
+        frontier.ForEach([&](int x) { next.UnionWith(g.Neighbors(x)); });
+        next.MinusWith(reached);
+        VertexSet passable(n);
+        next.ForEach([&](int y) {
+          if (y == u) {
+            reaches = true;
+          } else if (!visited[y] && weight[y] < weight[u]) {
+            passable.Insert(y);
+          }
+        });
+        reached.UnionWith(passable);
+        frontier = std::move(passable);
+      }
+      if (reaches) {
+        bumped.push_back(u);
+        h.AddEdge(u, v);  // no-op if the edge already exists
+      }
+    }
+    // Weights are bumped only after all reachability checks of this step.
+    for (int u : bumped) ++weight[u];
+  }
+  return h;
+}
+
+}  // namespace mintri

@@ -1,0 +1,21 @@
+#ifndef MINTRI_CHORDAL_MCS_M_H_
+#define MINTRI_CHORDAL_MCS_M_H_
+
+#include "graph/graph.h"
+
+namespace mintri {
+
+/// MCS-M (Berry, Blair, Heggernes 2002, cited as [2] by the paper): a
+/// maximum-cardinality-search variant that computes a minimal triangulation
+/// in O(n·m) per step. At each step the unvisited vertex v of maximum
+/// weight is chosen; every unvisited u that reaches v through unvisited
+/// intermediates of weight strictly smaller than w(u) gets its weight
+/// bumped, and {u, v} becomes a fill edge if not already present.
+///
+/// This is a second black-box minimal triangulator (besides LB-Triang); the
+/// CKK baseline can be instantiated with either.
+Graph McsM(const Graph& g);
+
+}  // namespace mintri
+
+#endif  // MINTRI_CHORDAL_MCS_M_H_

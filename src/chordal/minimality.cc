@@ -1,0 +1,46 @@
+#include "chordal/minimality.h"
+
+#include "chordal/chordality.h"
+
+namespace mintri {
+
+std::vector<std::pair<int, int>> FillEdges(const Graph& g, const Graph& h) {
+  std::vector<std::pair<int, int>> fill;
+  for (const auto& [u, v] : h.Edges()) {
+    if (!g.HasEdge(u, v)) fill.emplace_back(u, v);
+  }
+  return fill;
+}
+
+bool IsTriangulationOf(const Graph& g, const Graph& h) {
+  if (g.NumVertices() != h.NumVertices()) return false;
+  for (const auto& [u, v] : g.Edges()) {
+    if (!h.HasEdge(u, v)) return false;
+  }
+  return IsChordal(h);
+}
+
+namespace {
+
+// h minus one edge, rebuilt (Graph does not support edge removal in its
+// public API; this is test/validation machinery, not a hot path).
+Graph RemoveEdge(const Graph& h, int ru, int rv) {
+  Graph out(h.NumVertices());
+  for (const auto& [u, v] : h.Edges()) {
+    if ((u == ru && v == rv) || (u == rv && v == ru)) continue;
+    out.AddEdge(u, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsMinimalTriangulation(const Graph& g, const Graph& h) {
+  if (!IsTriangulationOf(g, h)) return false;
+  for (const auto& [u, v] : FillEdges(g, h)) {
+    if (IsChordal(RemoveEdge(h, u, v))) return false;
+  }
+  return true;
+}
+
+}  // namespace mintri

@@ -1,0 +1,25 @@
+#ifndef MINTRI_CHORDAL_MINIMALITY_H_
+#define MINTRI_CHORDAL_MINIMALITY_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mintri {
+
+/// The fill set E(h) \ E(g); both graphs must share the vertex universe.
+std::vector<std::pair<int, int>> FillEdges(const Graph& g, const Graph& h);
+
+/// True iff h is a triangulation of g: same vertices, E(g) ⊆ E(h), and h
+/// chordal.
+bool IsTriangulationOf(const Graph& g, const Graph& h);
+
+/// True iff h is a *minimal* triangulation of g. Uses the Rose–Tarjan–Lueker
+/// characterization: a triangulation is minimal iff removing any single fill
+/// edge destroys chordality.
+bool IsMinimalTriangulation(const Graph& g, const Graph& h);
+
+}  // namespace mintri
+
+#endif  // MINTRI_CHORDAL_MINIMALITY_H_

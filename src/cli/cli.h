@@ -1,0 +1,34 @@
+#ifndef MINTRI_CLI_CLI_H_
+#define MINTRI_CLI_CLI_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mintri {
+
+/// The `mintri_cli` command-line front end, as a testable function.
+///
+///   mintri_cli [options] [graph.gr]
+///
+/// Reads a graph in DIMACS/PACE ".gr" format (from the file argument or
+/// stdin) and prints its minimal triangulations / proper tree
+/// decompositions in ranked order. Options:
+///
+///   --cost=width|fill|width-then-fill|state-space   (default width)
+///   --top=K            stop after K results          (default 5)
+///   --algo=ranked|ckk  ranked enumeration or the CKK baseline
+///   --bound=B          width bound (MinTriangB contexts)
+///   --format=summary|td   per-result line, or PACE .td blocks
+///   --time-limit=SEC   initialization budget in seconds (default 30)
+///   --stats            print initialization statistics to stderr
+///
+/// Returns the process exit code (0 on success, 1 on usage/input errors,
+/// 2 when initialization exceeds its limits).
+int RunCli(const std::vector<std::string>& args, std::istream& in,
+           std::ostream& out, std::ostream& err);
+
+}  // namespace mintri
+
+#endif  // MINTRI_CLI_CLI_H_

@@ -1,0 +1,10 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return mintri::RunCli(args, std::cin, std::cout, std::cerr);
+}

@@ -1,0 +1,22 @@
+#include "cost/bag_cost.h"
+
+namespace mintri {
+
+long long NewFillPairs(const Graph& g, const VertexSet& omega,
+                       const VertexSet& parent_separator) {
+  std::vector<int> members = omega.ToVector();
+  long long count = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      int x = members[i], y = members[j];
+      if (g.HasEdge(x, y)) continue;
+      if (parent_separator.Contains(x) && parent_separator.Contains(y)) {
+        continue;  // counted at an ancestor bag that contains the separator
+      }
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mintri

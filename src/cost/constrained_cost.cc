@@ -1,0 +1,44 @@
+#include "cost/constrained_cost.h"
+
+namespace mintri {
+
+CostValue ConstrainedCost::Combine(const CombineContext& ctx) const {
+  for (const VertexSet& u : exclude_) {
+    if (u.IsSubsetOf(ctx.omega)) return kInfiniteCost;
+  }
+  for (const VertexSet& u : include_) {
+    if (!u.IsSubsetOf(ctx.block_vertices)) continue;
+    if (u.IsSubsetOf(ctx.omega)) continue;
+    bool inside_child = false;
+    for (const VertexSet* child : ctx.child_blocks) {
+      if (u.IsSubsetOf(*child)) {
+        inside_child = true;  // the child's finite cost certifies U there
+        break;
+      }
+    }
+    if (!inside_child) return kInfiniteCost;
+  }
+  return base_.Combine(ctx);
+}
+
+CostValue ConstrainedCost::Evaluate(const Graph& g,
+                                    const std::vector<VertexSet>& bags) const {
+  for (const VertexSet& u : exclude_) {
+    for (const VertexSet& bag : bags) {
+      if (u.IsSubsetOf(bag)) return kInfiniteCost;
+    }
+  }
+  for (const VertexSet& u : include_) {
+    bool inside = false;
+    for (const VertexSet& bag : bags) {
+      if (u.IsSubsetOf(bag)) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) return kInfiniteCost;
+  }
+  return base_.Evaluate(g, bags);
+}
+
+}  // namespace mintri

@@ -1,0 +1,48 @@
+#ifndef MINTRI_COST_CONSTRAINED_COST_H_
+#define MINTRI_COST_CONSTRAINED_COST_H_
+
+#include <vector>
+
+#include "cost/bag_cost.h"
+
+namespace mintri {
+
+/// κ[I,X] of Section 6.1: wraps a split-monotone bag cost κ so that any
+/// triangulation violating the inclusion constraints I or the exclusion
+/// constraints X (both sets of minimal separators of G) gets cost ∞.
+/// By Lemma 6.2 the wrapped cost is again a split-monotone bag cost, so
+/// MinTriang⟨κ[I,X]⟩ stays correct — this is what turns the optimizer into
+/// the oracle that Lawler–Murty needs.
+///
+/// The paper's satisfaction test — "for all U ∈ I ∪ X with U ⊆ V(H):
+/// U is a clique of H iff U ∈ I" — is applied block-locally during the DP:
+/// a set is a clique of a chordal graph iff it is contained in a maximal
+/// clique, so an exclusion U is violated exactly when U ⊆ Ω for a chosen
+/// bag, and an inclusion U ⊆ S∪C must lie inside the chosen Ω or inside a
+/// child block (whose own finite cost certifies the constraint there).
+class ConstrainedCost : public BagCost {
+ public:
+  ConstrainedCost(const BagCost& base, std::vector<VertexSet> include,
+                  std::vector<VertexSet> exclude)
+      : base_(base),
+        include_(std::move(include)),
+        exclude_(std::move(exclude)) {}
+
+  std::string Name() const override { return base_.Name() + "[I,X]"; }
+
+  CostValue Combine(const CombineContext& ctx) const override;
+
+  /// Evaluates base cost, or ∞ if the bag set violates [I,X]: an inclusion
+  /// separator must be inside some bag; an exclusion separator inside none.
+  CostValue Evaluate(const Graph& g,
+                     const std::vector<VertexSet>& bags) const override;
+
+ private:
+  const BagCost& base_;
+  std::vector<VertexSet> include_;
+  std::vector<VertexSet> exclude_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_COST_CONSTRAINED_COST_H_

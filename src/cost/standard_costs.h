@@ -1,0 +1,114 @@
+#ifndef MINTRI_COST_STANDARD_COSTS_H_
+#define MINTRI_COST_STANDARD_COSTS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cost/bag_cost.h"
+
+namespace mintri {
+
+/// width(G, T): maximal bag cardinality minus one (Section 3).
+class WidthCost : public BagCost {
+ public:
+  std::string Name() const override { return "width"; }
+  CostValue Combine(const CombineContext& ctx) const override;
+  CostValue Evaluate(const Graph& g,
+                     const std::vector<VertexSet>& bags) const override;
+};
+
+/// fill-in(G, T): the number of edges added when saturating all bags.
+class FillInCost : public BagCost {
+ public:
+  std::string Name() const override { return "fill-in"; }
+  CostValue Combine(const CombineContext& ctx) const override;
+  CostValue Evaluate(const Graph& g,
+                     const std::vector<VertexSet>& bags) const override;
+};
+
+/// Lexicographic width-then-fill: the paper's example
+/// κ(G,T) = |E(KV)| · width(G,T) + fill-in(G,T), a single split-monotone
+/// value because fill-in < n(n-1)/2 ≤ multiplier.
+class WidthThenFillCost : public BagCost {
+ public:
+  std::string Name() const override { return "width-then-fill"; }
+  CostValue Combine(const CombineContext& ctx) const override;
+  CostValue Evaluate(const Graph& g,
+                     const std::vector<VertexSet>& bags) const override;
+
+  static double Multiplier(const Graph& g);
+  /// Decodes a combined value back into (width, fill).
+  static std::pair<int, long long> Decode(const Graph& g, CostValue v);
+};
+
+/// widthc(G, T) of Furuse–Yamazaki: each bag is scored by a user-provided
+/// function and the cost is the maximal bag score. Vertex-additive weights
+/// (Σ_{v∈b} w(v)) are the common instantiation; a hypergraph edge-cover
+/// score yields (fractional) hypertree width.
+class WeightedWidthCost : public BagCost {
+ public:
+  using BagScore = std::function<double(const VertexSet&)>;
+  explicit WeightedWidthCost(BagScore score, std::string name = "weighted-width")
+      : score_(std::move(score)), name_(std::move(name)) {}
+
+  /// Convenience: additive vertex weights.
+  static std::unique_ptr<WeightedWidthCost> FromVertexWeights(
+      std::vector<double> weights);
+
+  std::string Name() const override { return name_; }
+  CostValue Combine(const CombineContext& ctx) const override;
+  CostValue Evaluate(const Graph& g,
+                     const std::vector<VertexSet>& bags) const override;
+
+ private:
+  BagScore score_;
+  std::string name_;
+};
+
+/// fill-inc(G, T) of Furuse–Yamazaki: the sum of c(e) over the edges e added
+/// when saturating all bags.
+class WeightedFillCost : public BagCost {
+ public:
+  using EdgeWeight = std::function<double(int, int)>;
+  explicit WeightedFillCost(EdgeWeight weight,
+                            std::string name = "weighted-fill")
+      : weight_(std::move(weight)), name_(std::move(name)) {}
+
+  std::string Name() const override { return name_; }
+  CostValue Combine(const CombineContext& ctx) const override;
+  CostValue Evaluate(const Graph& g,
+                     const std::vector<VertexSet>& bags) const override;
+
+ private:
+  double SumNewPairs(const Graph& g, const VertexSet& omega,
+                     const VertexSet& parent_separator) const;
+  EdgeWeight weight_;
+  std::string name_;
+};
+
+/// Σ over bags of ∏_{v∈bag} domain(v): the total junction-tree state space,
+/// the natural cost for probabilistic inference (Lauritzen–Spiegelhalter) —
+/// one of the paper's motivating "costs over the set of bags" beyond the
+/// classics (sum of exponents of bag cardinalities).
+class TotalStateSpaceCost : public BagCost {
+ public:
+  explicit TotalStateSpaceCost(std::vector<double> domain_sizes)
+      : domains_(std::move(domain_sizes)) {}
+
+  /// Uniform domain size d for every vertex: Σ over bags of d^|bag|.
+  static std::unique_ptr<TotalStateSpaceCost> Uniform(int n, double d);
+
+  std::string Name() const override { return "total-state-space"; }
+  CostValue Combine(const CombineContext& ctx) const override;
+  CostValue Evaluate(const Graph& g,
+                     const std::vector<VertexSet>& bags) const override;
+
+ private:
+  double BagWeight(const VertexSet& bag) const;
+  std::vector<double> domains_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_COST_STANDARD_COSTS_H_

@@ -1,0 +1,137 @@
+#include "enumeration/clique_tree_enum.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mintri {
+
+namespace {
+
+struct WeightedEdge {
+  int a, b, weight;
+};
+
+// Union-find over clique nodes for cycle detection in partial forests.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  bool Union(int a, int b) {
+    int ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    parent_[ra] = rb;
+    return true;
+  }
+  UnionFind Copy() const { return *this; }
+
+ private:
+  std::vector<int> parent_;
+};
+
+class Enumerator {
+ public:
+  Enumerator(std::vector<VertexSet> cliques, std::vector<WeightedEdge> edges,
+             int target_weight, size_t limit)
+      : cliques_(std::move(cliques)),
+        edges_(std::move(edges)),
+        target_weight_(target_weight),
+        limit_(limit) {
+    suffix_weight_.resize(edges_.size() + 1, 0);
+    for (int i = static_cast<int>(edges_.size()) - 1; i >= 0; --i) {
+      suffix_weight_[i] = suffix_weight_[i + 1] + edges_[i].weight;
+    }
+  }
+
+  std::vector<CliqueTree> Run() {
+    UnionFind uf(static_cast<int>(cliques_.size()));
+    std::vector<int> chosen;
+    Recurse(0, 0, uf, &chosen);
+    return std::move(results_);
+  }
+
+ private:
+  // Upper bound on achievable total weight: current + the heaviest remaining
+  // needed edges (edges_ is sorted by decreasing weight).
+  void Recurse(size_t index, int weight, UnionFind uf,
+               std::vector<int>* chosen) {
+    const int k = static_cast<int>(cliques_.size());
+    if (results_.size() >= limit_) return;
+    if (static_cast<int>(chosen->size()) == k - 1) {
+      if (weight == target_weight_) Emit(*chosen);
+      return;
+    }
+    if (index >= edges_.size()) return;
+    int needed = k - 1 - static_cast<int>(chosen->size());
+    if (static_cast<int>(edges_.size() - index) < needed) return;
+    // Optimistic bound: even taking the heaviest `needed` remaining edges
+    // cannot reach the maximum spanning weight.
+    int optimistic = weight;
+    for (size_t i = index, taken = 0; taken < static_cast<size_t>(needed);
+         ++i, ++taken) {
+      optimistic += edges_[i].weight;
+    }
+    if (optimistic < target_weight_) return;
+
+    // Branch 1: take edges_[index] if it does not close a cycle.
+    UnionFind with = uf.Copy();
+    if (with.Union(edges_[index].a, edges_[index].b)) {
+      chosen->push_back(static_cast<int>(index));
+      Recurse(index + 1, weight + edges_[index].weight, std::move(with),
+              chosen);
+      chosen->pop_back();
+    }
+    // Branch 2: skip it.
+    Recurse(index + 1, weight, std::move(uf), chosen);
+  }
+
+  void Emit(const std::vector<int>& chosen) {
+    CliqueTree tree;
+    tree.cliques = cliques_;
+    for (int ei : chosen) tree.edges.emplace_back(edges_[ei].a, edges_[ei].b);
+    results_.push_back(std::move(tree));
+  }
+
+  std::vector<VertexSet> cliques_;
+  std::vector<WeightedEdge> edges_;
+  std::vector<int> suffix_weight_;
+  int target_weight_;
+  size_t limit_;
+  std::vector<CliqueTree> results_;
+};
+
+}  // namespace
+
+std::vector<CliqueTree> EnumerateCliqueTrees(const Graph& chordal,
+                                             size_t limit) {
+  CliqueTree one = BuildCliqueTree(chordal);
+  if (one.cliques.size() <= 1) return {one};
+
+  int target = 0;
+  for (const auto& [i, j] : one.edges) {
+    target += one.cliques[i].Intersect(one.cliques[j]).Count();
+  }
+
+  std::vector<WeightedEdge> edges;
+  const int k = static_cast<int>(one.cliques.size());
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      int w = one.cliques[i].Intersect(one.cliques[j]).Count();
+      if (w > 0) edges.push_back({i, j, w});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.weight > b.weight;
+            });
+
+  Enumerator enumerator(std::move(one.cliques), std::move(edges), target,
+                        limit);
+  return enumerator.Run();
+}
+
+}  // namespace mintri

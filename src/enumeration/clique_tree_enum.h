@@ -1,0 +1,31 @@
+#ifndef MINTRI_ENUMERATION_CLIQUE_TREE_ENUM_H_
+#define MINTRI_ENUMERATION_CLIQUE_TREE_ENUM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "chordal/clique_tree.h"
+#include "graph/graph.h"
+
+namespace mintri {
+
+/// Enumerates the clique trees of a connected chordal graph, up to `limit`.
+///
+/// This realizes the expansion step of Proposition 6.1: the clique trees of
+/// a chordal graph H are exactly the maximum-weight spanning trees of the
+/// clique graph (nodes = maximal cliques, weight = |intersection|) — Jordan
+/// [24] — and enumerating maximum spanning trees is a classical task (Yamada
+/// et al. [41]). Combined with RankedTriangulationEnumerator this yields
+/// ranked enumeration of *all* proper tree decompositions, since every bag
+/// cost gives all clique trees of one triangulation the same cost.
+///
+/// Implementation: branch-and-bound over edges sorted by decreasing weight,
+/// pruning partial forests whose optimistic completion falls below the
+/// maximum spanning weight. Exact and complete; intended for the ≤ n clique
+/// nodes of a chordal graph.
+std::vector<CliqueTree> EnumerateCliqueTrees(const Graph& chordal,
+                                             size_t limit = SIZE_MAX);
+
+}  // namespace mintri
+
+#endif  // MINTRI_ENUMERATION_CLIQUE_TREE_ENUM_H_

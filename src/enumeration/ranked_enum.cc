@@ -1,0 +1,90 @@
+#include "enumeration/ranked_enum.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cost/constrained_cost.h"
+
+namespace mintri {
+
+RankedTriangulationEnumerator::RankedTriangulationEnumerator(
+    const TriangulationContext& ctx, const BagCost& cost)
+    : ctx_(ctx), cost_(cost) {
+  ++num_optimizer_calls_;
+  std::optional<Triangulation> first = MinTriang(ctx_, cost_);
+  if (first.has_value()) {
+    Push(std::move(*first), {}, {});
+  } else {
+    exhausted_ = true;
+  }
+}
+
+void RankedTriangulationEnumerator::Push(Triangulation t,
+                                         std::vector<int> include,
+                                         std::vector<int> exclude) {
+  Entry e{t.cost, sequence_++, std::move(t), std::move(include),
+          std::move(exclude)};
+  queue_.push(std::move(e));
+}
+
+std::optional<Triangulation> RankedTriangulationEnumerator::Next() {
+  if (exhausted_ || queue_.empty()) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  Entry top = queue_.top();
+  queue_.pop();
+
+  // Split the remainder of [I, X] along MinSep(H) \ I (lines 7-13).
+  std::vector<int> h_seps;
+  for (const VertexSet& s : top.triangulation.separators) {
+    int id = ctx_.SeparatorId(s);
+    assert(id >= 0);  // every adhesion is a minimal separator of G
+    h_seps.push_back(id);
+  }
+  std::sort(h_seps.begin(), h_seps.end());
+  std::vector<int> free_seps;
+  for (int id : h_seps) {
+    if (std::find(top.include.begin(), top.include.end(), id) ==
+        top.include.end()) {
+      free_seps.push_back(id);
+    }
+  }
+
+  std::vector<int> include_i = top.include;
+  for (size_t i = 0; i < free_seps.size(); ++i) {
+    std::vector<int> exclude_i = top.exclude;
+    exclude_i.push_back(free_seps[i]);
+
+    std::vector<VertexSet> include_sets, exclude_sets;
+    include_sets.reserve(include_i.size());
+    for (int id : include_i) include_sets.push_back(ctx_.minimal_separators()[id]);
+    exclude_sets.reserve(exclude_i.size());
+    for (int id : exclude_i) exclude_sets.push_back(ctx_.minimal_separators()[id]);
+
+    ConstrainedCost constrained(cost_, std::move(include_sets),
+                                std::move(exclude_sets));
+    ++num_optimizer_calls_;
+    std::optional<Triangulation> h = MinTriang(ctx_, constrained);
+    if (h.has_value()) {
+      // MinTriang returned a finite-cost triangulation, which under
+      // ConstrainedCost already implies H ⊨ [I_i, X_i] (the satisfaction
+      // test of line 12). Re-rank it by the *unconstrained* cost, which is
+      // equal for satisfying triangulations by Equation (2).
+      Push(std::move(*h), include_i, std::move(exclude_i));
+    }
+    include_i.push_back(free_seps[i]);
+  }
+
+  return std::move(top.triangulation);
+}
+
+std::optional<RankedTreeDecompositionEnumerator::Result>
+RankedTreeDecompositionEnumerator::Next() {
+  std::optional<Triangulation> t = inner_.Next();
+  if (!t.has_value()) return std::nullopt;
+  Result r{CliqueTreeOf(*t), t->cost};
+  return r;
+}
+
+}  // namespace mintri

@@ -1,0 +1,95 @@
+#ifndef MINTRI_ENUMERATION_RANKED_ENUM_H_
+#define MINTRI_ENUMERATION_RANKED_ENUM_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "cost/bag_cost.h"
+#include "enumeration/tree_decomposition.h"
+#include "triang/context.h"
+#include "triang/min_triang.h"
+
+namespace mintri {
+
+/// RankedTriang⟨κ⟩(G) — Figure 4 of the paper. Enumerates the minimal
+/// triangulations of the context's graph by increasing κ, with polynomial
+/// delay when the context is poly-MS-feasible (Theorem 6.4 / Corollary 6.5),
+/// via Lawler–Murty partitioning over sets of minimal separators:
+///
+///  - each partition is an inclusion/exclusion constraint [I, X] over
+///    MinSep(G), represented in the queue by its minimum-cost member;
+///  - popping ⟨H, I, X⟩ prints H and splits the remainder of [I, X] by the
+///    separators S_1..S_k of MinSep(H) \ I into partitions
+///    [I ∪ {S_1..S_{i-1}}, X ∪ {S_i}] for i = 1..k (the paper's Figure 4
+///    writes "i = 1..k-1", but the k-th partition — triangulations that
+///    contain S_1..S_{k-1} and avoid S_k — can be non-empty, e.g. on the
+///    4-cycle, so we generate all k);
+///  - each partition's representative is MinTriang under κ[I_i, X_i]
+///    (ConstrainedCost), sharing this context's precomputation.
+///
+/// Pull-based: Next() returns the next-cheapest minimal triangulation, or
+/// std::nullopt when the enumeration is exhausted, so callers can stop at
+/// any time (the "anytime" usage the paper motivates).
+class RankedTriangulationEnumerator {
+ public:
+  /// `ctx` and `cost` must outlive the enumerator.
+  RankedTriangulationEnumerator(const TriangulationContext& ctx,
+                                const BagCost& cost);
+
+  std::optional<Triangulation> Next();
+
+  /// Number of MinTriang invocations so far (for the experiment harness).
+  long long num_optimizer_calls() const { return num_optimizer_calls_; }
+
+ private:
+  struct Entry {
+    CostValue cost;
+    long long sequence;  // tie-break for deterministic order
+    Triangulation triangulation;
+    std::vector<int> include;  // separator ids
+    std::vector<int> exclude;  // separator ids
+  };
+  struct EntryCompare {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.cost != b.cost) return a.cost > b.cost;  // min-heap
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void Push(Triangulation t, std::vector<int> include,
+            std::vector<int> exclude);
+
+  const TriangulationContext& ctx_;
+  const BagCost& cost_;
+  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue_;
+  long long sequence_ = 0;
+  long long num_optimizer_calls_ = 0;
+  bool exhausted_ = false;
+};
+
+/// Ranked enumeration of proper tree decompositions (Proposition 6.1): the
+/// clique tree of each minimal triangulation, by increasing cost. (Bag costs
+/// assign every clique tree of the same triangulation the same cost, so the
+/// canonical clique tree is a legitimate ranked representative; all clique
+/// trees of a given triangulation can be expanded with
+/// EnumerateCliqueTrees from clique_tree_enum.h.)
+class RankedTreeDecompositionEnumerator {
+ public:
+  RankedTreeDecompositionEnumerator(const TriangulationContext& ctx,
+                                    const BagCost& cost)
+      : inner_(ctx, cost) {}
+
+  struct Result {
+    TreeDecomposition decomposition;
+    CostValue cost;
+  };
+  std::optional<Result> Next();
+
+ private:
+  RankedTriangulationEnumerator inner_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_ENUMERATION_RANKED_ENUM_H_

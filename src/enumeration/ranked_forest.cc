@@ -1,0 +1,109 @@
+#include "enumeration/ranked_forest.h"
+
+#include <algorithm>
+
+namespace mintri {
+
+RankedForestEnumerator::RankedForestEnumerator(const Graph& g,
+                                               const BagCost& cost,
+                                               CostComposition composition,
+                                               const ContextOptions& options)
+    : g_(g), composition_(composition) {
+  for (const VertexSet& comp_vertices : g.ConnectedComponents()) {
+    Component comp;
+    comp.old_of_new.resize(comp_vertices.Count());
+    int next = 0;
+    comp_vertices.ForEach([&](int v) { comp.old_of_new[next++] = v; });
+    Graph sub = g.InducedSubgraph(comp_vertices);
+    auto ctx = TriangulationContext::Build(sub, options);
+    if (!ctx.has_value()) {
+      init_ok_ = false;
+      return;
+    }
+    comp.context =
+        std::make_unique<TriangulationContext>(std::move(*ctx));
+    comp.enumerator = std::make_unique<RankedTriangulationEnumerator>(
+        *comp.context, cost);
+    components_.push_back(std::move(comp));
+  }
+  if (components_.empty()) return;  // empty graph: nothing to enumerate
+
+  std::vector<size_t> first(components_.size(), 0);
+  bool feasible = true;
+  for (size_t c = 0; c < components_.size(); ++c) {
+    if (!Materialize(static_cast<int>(c), 0)) feasible = false;
+  }
+  if (feasible) {
+    queue_.push({Compose(first), first});
+    enqueued_.insert(first);
+  }
+}
+
+bool RankedForestEnumerator::Materialize(int component, size_t i) {
+  Component& comp = components_[component];
+  while (comp.produced.size() <= i && !comp.exhausted) {
+    auto t = comp.enumerator->Next();
+    if (!t.has_value()) {
+      comp.exhausted = true;
+      break;
+    }
+    comp.produced.push_back(std::move(*t));
+  }
+  return comp.produced.size() > i;
+}
+
+CostValue RankedForestEnumerator::Compose(const std::vector<size_t>& indices) {
+  CostValue acc = composition_ == CostComposition::kMax ? -kInfiniteCost : 0;
+  for (size_t c = 0; c < indices.size(); ++c) {
+    CostValue v = components_[c].produced[indices[c]].cost;
+    acc = composition_ == CostComposition::kMax ? std::max(acc, v) : acc + v;
+  }
+  return acc;
+}
+
+Triangulation RankedForestEnumerator::Assemble(
+    const std::vector<size_t>& indices) {
+  Triangulation out;
+  out.filled = g_;
+  const int n = g_.NumVertices();
+  for (size_t c = 0; c < indices.size(); ++c) {
+    const Component& comp = components_[c];
+    const Triangulation& part = comp.produced[indices[c]];
+    int bag_offset = static_cast<int>(out.bags.size());
+    for (size_t b = 0; b < part.bags.size(); ++b) {
+      VertexSet bag(n);
+      part.bags[b].ForEach([&](int v) { bag.Insert(comp.old_of_new[v]); });
+      out.filled.SaturateSet(bag);
+      out.bags.push_back(std::move(bag));
+      out.parent.push_back(part.parent[b] < 0 ? -1
+                                              : part.parent[b] + bag_offset);
+    }
+    for (const VertexSet& s : part.separators) {
+      VertexSet sep(n);
+      s.ForEach([&](int v) { sep.Insert(comp.old_of_new[v]); });
+      out.separators.push_back(std::move(sep));
+    }
+  }
+  std::sort(out.separators.begin(), out.separators.end());
+  out.cost = Compose(indices);
+  return out;
+}
+
+std::optional<Triangulation> RankedForestEnumerator::Next() {
+  if (!init_ok_ || queue_.empty()) return std::nullopt;
+  QueueEntry top = queue_.top();
+  queue_.pop();
+
+  // Successors: bump one coordinate at a time.
+  for (size_t c = 0; c < top.indices.size(); ++c) {
+    std::vector<size_t> next = top.indices;
+    ++next[c];
+    if (enqueued_.count(next)) continue;
+    if (!Materialize(static_cast<int>(c), next[c])) continue;
+    queue_.push({Compose(next), next});
+    enqueued_.insert(std::move(next));
+  }
+  return Assemble(top.indices);
+}
+
+}  // namespace mintri

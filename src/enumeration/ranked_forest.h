@@ -1,0 +1,80 @@
+#ifndef MINTRI_ENUMERATION_RANKED_FOREST_H_
+#define MINTRI_ENUMERATION_RANKED_FOREST_H_
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "cost/bag_cost.h"
+#include "enumeration/ranked_enum.h"
+
+namespace mintri {
+
+/// How a bag cost composes across connected components. Width-like costs
+/// compose by max; fill-like and sum-of-bag-weight costs compose by sum.
+enum class CostComposition { kMax, kSum };
+
+/// Ranked enumeration of minimal triangulations for an arbitrary (possibly
+/// disconnected) graph. A minimal triangulation of a disconnected graph is
+/// an independent choice of a minimal triangulation per component, so the
+/// ranked stream is the *ranked product* of the per-component streams: a
+/// priority queue over index vectors (i_1, ..., i_k), lazily materializing
+/// each component's ranked list. The composed cost is monotone in every
+/// coordinate (split-monotone bag costs are), so the product order is
+/// correct.
+///
+/// This closes the connectivity restriction of TriangulationContext at the
+/// API level (DESIGN.md §2.7).
+class RankedForestEnumerator {
+ public:
+  RankedForestEnumerator(const Graph& g, const BagCost& cost,
+                         CostComposition composition,
+                         const ContextOptions& options = {});
+
+  /// False when some component's initialization hit its limits; Next() then
+  /// always returns std::nullopt.
+  bool init_ok() const { return init_ok_; }
+
+  /// The next-cheapest minimal triangulation of the whole graph (bags and
+  /// fill edges in original vertex ids; the clique tree is a forest with
+  /// one root per component).
+  std::optional<Triangulation> Next();
+
+ private:
+  struct Component {
+    std::vector<int> old_of_new;            // relabeling back to g
+    std::unique_ptr<TriangulationContext> context;
+    std::unique_ptr<RankedTriangulationEnumerator> enumerator;
+    std::vector<Triangulation> produced;    // memoized ranked prefix
+    bool exhausted = false;
+  };
+
+  // Ensures produced[i] exists; false if the stream has fewer results.
+  bool Materialize(int component, size_t i);
+  CostValue Compose(const std::vector<size_t>& indices);
+  Triangulation Assemble(const std::vector<size_t>& indices);
+
+  const Graph& g_;
+  CostComposition composition_;
+  bool init_ok_ = true;
+  std::vector<Component> components_;
+
+  struct QueueEntry {
+    CostValue cost;
+    std::vector<size_t> indices;
+    bool operator>(const QueueEntry& other) const {
+      if (cost != other.cost) return cost > other.cost;
+      return indices > other.indices;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::set<std::vector<size_t>> enqueued_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_ENUMERATION_RANKED_FOREST_H_

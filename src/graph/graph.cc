@@ -1,0 +1,127 @@
+#include "graph/graph.h"
+
+#include <cassert>
+
+namespace mintri {
+
+Graph::Graph(int n) : n_(n), adjacency_(n, VertexSet(n)) {}
+
+void Graph::AddEdge(int u, int v) {
+  assert(u >= 0 && u < n_ && v >= 0 && v < n_);
+  if (u == v || adjacency_[u].Contains(v)) return;
+  adjacency_[u].Insert(v);
+  adjacency_[v].Insert(u);
+  ++num_edges_;
+}
+
+VertexSet Graph::ClosedNeighborhood(int v) const {
+  VertexSet s = adjacency_[v];
+  s.Insert(v);
+  return s;
+}
+
+VertexSet Graph::NeighborhoodOfSet(const VertexSet& s) const {
+  VertexSet out(n_);
+  s.ForEach([&](int v) { out.UnionWith(adjacency_[v]); });
+  out.MinusWith(s);
+  return out;
+}
+
+void Graph::SaturateSet(const VertexSet& u) {
+  std::vector<int> vs = u.ToVector();
+  for (size_t i = 0; i < vs.size(); ++i) {
+    for (size_t j = i + 1; j < vs.size(); ++j) {
+      AddEdge(vs[i], vs[j]);
+    }
+  }
+}
+
+bool Graph::IsClique(const VertexSet& u) const {
+  // u is a clique iff every v in u is adjacent to all other members.
+  bool ok = true;
+  u.ForEach([&](int v) {
+    if (!ok) return;
+    VertexSet rest = u;
+    rest.Erase(v);
+    if (!rest.IsSubsetOf(adjacency_[v])) ok = false;
+  });
+  return ok;
+}
+
+std::vector<std::pair<int, int>> Graph::Edges() const {
+  std::vector<std::pair<int, int>> out;
+  out.reserve(num_edges_);
+  for (int u = 0; u < n_; ++u) {
+    adjacency_[u].ForEach([&](int v) {
+      if (u < v) out.emplace_back(u, v);
+    });
+  }
+  return out;
+}
+
+Graph Graph::InducedSubgraph(const VertexSet& keep,
+                             std::vector<int>* old_to_new) const {
+  std::vector<int> map(n_, -1);
+  int next = 0;
+  keep.ForEach([&](int v) { map[v] = next++; });
+  Graph g(next);
+  keep.ForEach([&](int u) {
+    VertexSet nbrs = adjacency_[u].Intersect(keep);
+    nbrs.ForEach([&](int v) {
+      if (u < v) g.AddEdge(map[u], map[v]);
+    });
+  });
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return g;
+}
+
+std::vector<VertexSet> Graph::ConnectedComponents() const {
+  return ComponentsAfterRemoving(VertexSet(n_));
+}
+
+std::vector<VertexSet> Graph::ComponentsAfterRemoving(
+    const VertexSet& removed) const {
+  std::vector<VertexSet> components;
+  VertexSet remaining = removed.Complement();
+  while (true) {
+    int start = remaining.First();
+    if (start < 0) break;
+    VertexSet comp = ComponentOf(start, removed);
+    remaining.MinusWith(comp);
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+VertexSet Graph::ComponentOf(int v, const VertexSet& removed) const {
+  assert(!removed.Contains(v));
+  VertexSet comp = VertexSet::Single(n_, v);
+  VertexSet frontier = comp;
+  while (!frontier.Empty()) {
+    VertexSet next(n_);
+    frontier.ForEach([&](int u) { next.UnionWith(adjacency_[u]); });
+    next.MinusWith(removed);
+    next.MinusWith(comp);
+    comp.UnionWith(next);
+    frontier = std::move(next);
+  }
+  return comp;
+}
+
+bool Graph::IsConnected() const {
+  if (n_ == 0) return true;
+  return ComponentOf(0, VertexSet(n_)).Count() == n_;
+}
+
+Graph Graph::UnionOf(const Graph& a, const Graph& b) {
+  assert(a.n_ == b.n_);
+  Graph g = a;
+  for (int u = 0; u < b.n_; ++u) {
+    b.adjacency_[u].ForEach([&](int v) {
+      if (u < v) g.AddEdge(u, v);
+    });
+  }
+  return g;
+}
+
+}  // namespace mintri

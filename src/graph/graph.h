@@ -1,0 +1,83 @@
+#ifndef MINTRI_GRAPH_GRAPH_H_
+#define MINTRI_GRAPH_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/vertex_set.h"
+
+namespace mintri {
+
+/// An undirected simple graph over vertices {0, ..., n-1}, with adjacency
+/// stored as one VertexSet per vertex. All algorithms in the library
+/// (separator enumeration, PMC enumeration, triangulation) run on this type.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n);
+
+  int NumVertices() const { return n_; }
+  int NumEdges() const { return num_edges_; }
+
+  /// Adds the edge {u, v}; ignores self-loops and duplicates.
+  void AddEdge(int u, int v);
+  bool HasEdge(int u, int v) const {
+    return u != v && adjacency_[u].Contains(v);
+  }
+
+  const VertexSet& Neighbors(int v) const { return adjacency_[v]; }
+
+  /// N[v] = N(v) ∪ {v}.
+  VertexSet ClosedNeighborhood(int v) const;
+
+  /// N(S): vertices outside S adjacent to a member of S.
+  VertexSet NeighborhoodOfSet(const VertexSet& s) const;
+
+  /// All vertices {0, ..., n-1}.
+  VertexSet Vertices() const { return VertexSet::All(n_); }
+
+  /// Makes U a clique (the "saturation" operation of the paper).
+  void SaturateSet(const VertexSet& u);
+
+  /// True if every pair of distinct vertices of U is adjacent.
+  bool IsClique(const VertexSet& u) const;
+
+  /// All edges as (u, v) pairs with u < v, sorted.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  /// The subgraph induced by `keep`, with vertices relabeled to
+  /// 0..|keep|-1 in increasing original order. If `old_to_new` is non-null it
+  /// receives the relabeling (-1 for dropped vertices).
+  Graph InducedSubgraph(const VertexSet& keep,
+                        std::vector<int>* old_to_new = nullptr) const;
+
+  /// Connected components of the whole graph.
+  std::vector<VertexSet> ConnectedComponents() const;
+
+  /// Connected components of G \ removed (i.e., of the subgraph induced by
+  /// the complement of `removed`), as vertex sets of the original graph.
+  std::vector<VertexSet> ComponentsAfterRemoving(const VertexSet& removed)
+      const;
+
+  /// The connected component of G \ removed that contains `v`
+  /// (v must not be in `removed`).
+  VertexSet ComponentOf(int v, const VertexSet& removed) const;
+
+  bool IsConnected() const;
+
+  /// Union of this graph's edges with `other`'s (same vertex count).
+  static Graph UnionOf(const Graph& a, const Graph& b);
+
+  bool operator==(const Graph& other) const {
+    return n_ == other.n_ && adjacency_ == other.adjacency_;
+  }
+
+ private:
+  int n_ = 0;
+  int num_edges_ = 0;
+  std::vector<VertexSet> adjacency_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_GRAPH_GRAPH_H_

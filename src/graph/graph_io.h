@@ -1,0 +1,30 @@
+#ifndef MINTRI_GRAPH_GRAPH_IO_H_
+#define MINTRI_GRAPH_GRAPH_IO_H_
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mintri {
+
+/// Parses the PACE / DIMACS ".gr" format:
+///   c comment lines
+///   p tw <n> <m>
+///   <u> <v>            (1-based vertex ids)
+/// Returns std::nullopt on malformed input.
+std::optional<Graph> ParseDimacs(std::istream& in);
+std::optional<Graph> ParseDimacsString(const std::string& text);
+
+/// Writes the graph in the same format.
+void WriteDimacs(const Graph& g, std::ostream& out);
+
+/// Parses a simple edge list: first line "<n>", then "<u> <v>" pairs
+/// (0-based). Returns std::nullopt on malformed input.
+std::optional<Graph> ParseEdgeList(std::istream& in);
+
+}  // namespace mintri
+
+#endif  // MINTRI_GRAPH_GRAPH_IO_H_

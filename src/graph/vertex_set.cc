@@ -1,0 +1,141 @@
+#include "graph/vertex_set.h"
+
+#include <cassert>
+
+namespace mintri {
+
+VertexSet VertexSet::All(int capacity) {
+  VertexSet s(capacity);
+  for (size_t w = 0; w < s.words_.size(); ++w) s.words_[w] = ~uint64_t{0};
+  int extra = static_cast<int>(s.words_.size()) * 64 - capacity;
+  if (extra > 0 && !s.words_.empty()) {
+    s.words_.back() >>= extra;
+  }
+  return s;
+}
+
+VertexSet VertexSet::Single(int capacity, int v) {
+  VertexSet s(capacity);
+  s.Insert(v);
+  return s;
+}
+
+VertexSet VertexSet::Of(int capacity, std::initializer_list<int> vs) {
+  VertexSet s(capacity);
+  for (int v : vs) s.Insert(v);
+  return s;
+}
+
+VertexSet VertexSet::FromVector(int capacity, const std::vector<int>& vs) {
+  VertexSet s(capacity);
+  for (int v : vs) s.Insert(v);
+  return s;
+}
+
+bool VertexSet::Empty() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+int VertexSet::Count() const {
+  int c = 0;
+  for (uint64_t w : words_) c += __builtin_popcountll(w);
+  return c;
+}
+
+int VertexSet::First() const {
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w * 64) + __builtin_ctzll(words_[w]);
+    }
+  }
+  return -1;
+}
+
+bool VertexSet::IsSubsetOf(const VertexSet& other) const {
+  assert(capacity_ == other.capacity_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+bool VertexSet::Intersects(const VertexSet& other) const {
+  assert(capacity_ == other.capacity_);
+  for (size_t w = 0; w < words_.size(); ++w) {
+    if ((words_[w] & other.words_[w]) != 0) return true;
+  }
+  return false;
+}
+
+void VertexSet::UnionWith(const VertexSet& other) {
+  assert(capacity_ == other.capacity_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+void VertexSet::IntersectWith(const VertexSet& other) {
+  assert(capacity_ == other.capacity_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+}
+
+void VertexSet::MinusWith(const VertexSet& other) {
+  assert(capacity_ == other.capacity_);
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+}
+
+VertexSet VertexSet::Union(const VertexSet& other) const {
+  VertexSet s = *this;
+  s.UnionWith(other);
+  return s;
+}
+
+VertexSet VertexSet::Intersect(const VertexSet& other) const {
+  VertexSet s = *this;
+  s.IntersectWith(other);
+  return s;
+}
+
+VertexSet VertexSet::Minus(const VertexSet& other) const {
+  VertexSet s = *this;
+  s.MinusWith(other);
+  return s;
+}
+
+VertexSet VertexSet::Complement() const {
+  VertexSet s = All(capacity_);
+  s.MinusWith(*this);
+  return s;
+}
+
+std::vector<int> VertexSet::ToVector() const {
+  std::vector<int> out;
+  out.reserve(Count());
+  ForEach([&](int v) { out.push_back(v); });
+  return out;
+}
+
+std::string VertexSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](int v) {
+    if (!first) out += ",";
+    out += std::to_string(v);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+size_t VertexSet::Hash() const {
+  // FNV-1a over the words.
+  uint64_t h = 1469598103934665603ULL;
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace mintri

@@ -1,0 +1,105 @@
+#ifndef MINTRI_GRAPH_VERTEX_SET_H_
+#define MINTRI_GRAPH_VERTEX_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mintri {
+
+/// A set of vertices over a fixed universe {0, ..., capacity-1}, stored as a
+/// bitset. This is the workhorse type of the library: minimal separators,
+/// potential maximal cliques, blocks and bags are all VertexSets, and the hot
+/// predicates of the Bouchitté–Todinca machinery (subset tests, neighborhood
+/// unions, component expansion) are word-parallel.
+///
+/// All binary operations require both operands to share the same capacity.
+class VertexSet {
+ public:
+  /// Empty set over an empty universe.
+  VertexSet() = default;
+
+  /// Empty set over {0, ..., capacity-1}.
+  explicit VertexSet(int capacity)
+      : capacity_(capacity), words_((capacity + 63) / 64, 0) {}
+
+  /// The full universe {0, ..., capacity-1}.
+  static VertexSet All(int capacity);
+
+  /// {v} over {0, ..., capacity-1}.
+  static VertexSet Single(int capacity, int v);
+
+  /// Builds a set from a list of vertices.
+  static VertexSet Of(int capacity, std::initializer_list<int> vs);
+  static VertexSet FromVector(int capacity, const std::vector<int>& vs);
+
+  int capacity() const { return capacity_; }
+
+  void Insert(int v) { words_[v >> 6] |= (uint64_t{1} << (v & 63)); }
+  void Erase(int v) { words_[v >> 6] &= ~(uint64_t{1} << (v & 63)); }
+  bool Contains(int v) const {
+    return (words_[v >> 6] >> (v & 63)) & 1;
+  }
+
+  bool Empty() const;
+  int Count() const;
+
+  /// Smallest element, or -1 if empty.
+  int First() const;
+
+  bool IsSubsetOf(const VertexSet& other) const;
+  bool Intersects(const VertexSet& other) const;
+
+  void UnionWith(const VertexSet& other);
+  void IntersectWith(const VertexSet& other);
+  void MinusWith(const VertexSet& other);
+
+  VertexSet Union(const VertexSet& other) const;
+  VertexSet Intersect(const VertexSet& other) const;
+  VertexSet Minus(const VertexSet& other) const;
+
+  /// Complement within the universe.
+  VertexSet Complement() const;
+
+  /// Applies `fn(v)` to every element in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int v = static_cast<int>(w * 64) + __builtin_ctzll(bits);
+        fn(v);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  std::vector<int> ToVector() const;
+
+  /// Renders as "{v0,v1,...}".
+  std::string ToString() const;
+
+  bool operator==(const VertexSet& other) const {
+    return words_ == other.words_;
+  }
+  /// Total order (by size of words then lexicographic), suitable for std::map
+  /// keys and canonical sorting.
+  bool operator<(const VertexSet& other) const {
+    return words_ < other.words_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  int capacity_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct VertexSetHash {
+  size_t operator()(const VertexSet& s) const { return s.Hash(); }
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_GRAPH_VERTEX_SET_H_

@@ -1,0 +1,31 @@
+#include "hypergraph/hypergraph.h"
+
+namespace mintri {
+
+int Hypergraph::AddEdge(VertexSet edge) {
+  if (edge.Empty()) return -1;
+  edges_.push_back(std::move(edge));
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+std::vector<int> Hypergraph::EdgesContaining(int v) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].Contains(v)) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+Graph Hypergraph::PrimalGraph() const {
+  Graph g(num_vertices_);
+  for (const VertexSet& e : edges_) g.SaturateSet(e);
+  return g;
+}
+
+bool Hypergraph::CoversAllVertices() const {
+  VertexSet covered(num_vertices_);
+  for (const VertexSet& e : edges_) covered.UnionWith(e);
+  return covered.Count() == num_vertices_;
+}
+
+}  // namespace mintri

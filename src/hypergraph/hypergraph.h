@@ -1,0 +1,50 @@
+#ifndef MINTRI_HYPERGRAPH_HYPERGRAPH_H_
+#define MINTRI_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mintri {
+
+/// A hypergraph over vertices {0, ..., n-1}. The paper's Section 1/3 uses
+/// hypergraphs for generalized hypertree decompositions: a tree
+/// decomposition of the *primal graph* whose bags are scored by (integral
+/// or fractional) hyperedge covers — see cover costs in edge_cover.h.
+/// In database terms: vertices are query variables, hyperedges are atoms.
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+  explicit Hypergraph(int num_vertices) : num_vertices_(num_vertices) {}
+
+  int NumVertices() const { return num_vertices_; }
+  int NumEdges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds a hyperedge (vertex set over the hypergraph's universe); returns
+  /// its index. Empty edges are ignored (returns -1).
+  int AddEdge(VertexSet edge);
+
+  const VertexSet& Edge(int i) const { return edges_[i]; }
+  const std::vector<VertexSet>& Edges() const { return edges_; }
+
+  /// The edges containing vertex v (indices).
+  std::vector<int> EdgesContaining(int v) const;
+
+  /// The primal (Gaifman) graph: vertices of the hypergraph, an edge between
+  /// every two vertices sharing a hyperedge. Tree decompositions for the
+  /// hypergraph are tree decompositions of this graph.
+  Graph PrimalGraph() const;
+
+  /// True iff every vertex appears in at least one hyperedge (required for
+  /// cover-based costs to be finite on all bags).
+  bool CoversAllVertices() const;
+
+ private:
+  int num_vertices_ = 0;
+  std::vector<VertexSet> edges_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_HYPERGRAPH_HYPERGRAPH_H_

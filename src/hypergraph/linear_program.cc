@@ -1,0 +1,92 @@
+#include "hypergraph/linear_program.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mintri {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+LinearProgram::LinearProgram(std::vector<std::vector<double>> a,
+                             std::vector<double> b, std::vector<double> c)
+    : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)) {
+  assert(a_.size() == b_.size());
+  for (const auto& row : a_) {
+    assert(row.size() == c_.size());
+    (void)row;
+  }
+  for (double bound : b_) {
+    assert(bound >= -kEps);
+    (void)bound;
+  }
+}
+
+std::optional<LinearProgram::Solution> LinearProgram::Maximize() const {
+  const int m = static_cast<int>(b_.size());
+  const int n = static_cast<int>(c_.size());
+
+  // Tableau with slack variables: columns 0..n-1 are the structural
+  // variables, n..n+m-1 the slacks, last column the RHS. Row m is the
+  // objective row (negated reduced costs).
+  std::vector<std::vector<double>> t(m + 1,
+                                     std::vector<double>(n + m + 1, 0.0));
+  std::vector<int> basis(m);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) t[i][j] = a_[i][j];
+    t[i][n + i] = 1.0;
+    t[i][n + m] = b_[i];
+    basis[i] = n + i;
+  }
+  for (int j = 0; j < n; ++j) t[m][j] = -c_[j];
+
+  while (true) {
+    // Entering column: Bland's rule (smallest index with negative reduced
+    // cost) to preclude cycling.
+    int pivot_col = -1;
+    for (int j = 0; j < n + m; ++j) {
+      if (t[m][j] < -kEps) {
+        pivot_col = j;
+        break;
+      }
+    }
+    if (pivot_col < 0) break;  // optimal
+
+    // Leaving row: minimum ratio, ties by smallest basis index (Bland).
+    int pivot_row = -1;
+    double best_ratio = 0;
+    for (int i = 0; i < m; ++i) {
+      if (t[i][pivot_col] > kEps) {
+        double ratio = t[i][n + m] / t[i][pivot_col];
+        if (pivot_row < 0 || ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && basis[i] < basis[pivot_row])) {
+          pivot_row = i;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (pivot_row < 0) return std::nullopt;  // unbounded
+
+    // Pivot.
+    double p = t[pivot_row][pivot_col];
+    for (double& v : t[pivot_row]) v /= p;
+    for (int i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      double f = t[i][pivot_col];
+      if (std::abs(f) < kEps) continue;
+      for (int j = 0; j <= n + m; ++j) t[i][j] -= f * t[pivot_row][j];
+    }
+    basis[pivot_row] = pivot_col;
+  }
+
+  Solution sol;
+  sol.objective = t[m][n + m];
+  sol.x.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (basis[i] < n) sol.x[basis[i]] = t[i][n + m];
+  }
+  return sol;
+}
+
+}  // namespace mintri

@@ -1,0 +1,42 @@
+#ifndef MINTRI_HYPERGRAPH_LINEAR_PROGRAM_H_
+#define MINTRI_HYPERGRAPH_LINEAR_PROGRAM_H_
+
+#include <optional>
+#include <vector>
+
+namespace mintri {
+
+/// A small dense primal-simplex solver for LPs in the canonical form
+///
+///     maximize    c · x
+///     subject to  A x <= b,   x >= 0,   with  b >= 0 .
+///
+/// Since b >= 0, the all-slack basis is feasible and no phase-one is needed.
+/// Bland's rule guarantees termination. This is the substrate behind the
+/// fractional-edge-cover bag cost (fractional hypertree width, Section 3 of
+/// the paper / Grohe–Marx): the *dual* of the covering LP is exactly in
+/// this form, and strong duality gives the cover weight.
+class LinearProgram {
+ public:
+  /// rows = constraints (coefficients + bound), cols = variables.
+  LinearProgram(std::vector<std::vector<double>> a, std::vector<double> b,
+                std::vector<double> c);
+
+  struct Solution {
+    double objective = 0;
+    std::vector<double> x;  // primal assignment
+  };
+
+  /// Solves the LP. Returns std::nullopt when the objective is unbounded.
+  /// (Infeasibility cannot occur in this canonical form since b >= 0.)
+  std::optional<Solution> Maximize() const;
+
+ private:
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<double> c_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_HYPERGRAPH_LINEAR_PROGRAM_H_

@@ -1,0 +1,187 @@
+#include "inference/junction_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mintri {
+
+JunctionTreeInference::JunctionTreeInference(std::vector<int> domains,
+                                             std::vector<Factor> factors)
+    : domains_(std::move(domains)), factors_(std::move(factors)) {}
+
+Graph JunctionTreeInference::MarkovGraph() const {
+  Graph g(static_cast<int>(domains_.size()));
+  for (const Factor& f : factors_) {
+    for (size_t i = 0; i < f.scope.size(); ++i) {
+      for (size_t j = i + 1; j < f.scope.size(); ++j) {
+        g.AddEdge(f.scope[i], f.scope[j]);
+      }
+    }
+  }
+  return g;
+}
+
+std::optional<JunctionTreeInference::Result> JunctionTreeInference::Run(
+    const TreeDecomposition& td) const {
+  const int k = static_cast<int>(td.bags.size());
+  const int n = static_cast<int>(domains_.size());
+  if (k == 0) return std::nullopt;
+
+  // Assign each factor to some bag containing its scope.
+  std::vector<Factor> potentials;
+  potentials.reserve(k);
+  std::vector<std::vector<int>> bag_scopes(k);
+  for (int b = 0; b < k; ++b) {
+    bag_scopes[b] = td.bags[b].ToVector();  // ascending
+    potentials.push_back(Factor::Ones(bag_scopes[b], domains_));
+  }
+  for (const Factor& f : factors_) {
+    int host = -1;
+    for (int b = 0; b < k && host < 0; ++b) {
+      bool inside = true;
+      for (int v : f.scope) {
+        if (!td.bags[b].Contains(v)) inside = false;
+      }
+      if (inside) host = b;
+    }
+    if (host < 0) return std::nullopt;  // scope uncovered: not a TD of the model
+    potentials[host] = Multiply(potentials[host], f, domains_);
+  }
+
+  // Root the tree (forest) and order bags by decreasing depth.
+  std::vector<std::vector<int>> adj(k);
+  for (const auto& [a, b] : td.edges) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<int> parent(k, -2), order;
+  for (int root = 0; root < k; ++root) {
+    if (parent[root] != -2) continue;
+    parent[root] = -1;
+    std::vector<int> stack = {root};
+    while (!stack.empty()) {
+      int u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (int v : adj[u]) {
+        if (parent[v] == -2) {
+          parent[v] = u;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+
+  Result result;
+  for (int b = 0; b < k; ++b) {
+    result.total_table_entries +=
+        static_cast<double>(potentials[b].table.size());
+  }
+
+  // Upward pass (children to parents), in reverse BFS order.
+  std::vector<Factor> up(k);  // message from b to parent[b]
+  std::vector<Factor> collected = potentials;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    int b = *it;
+    for (int c : adj[b]) {
+      if (parent[c] == b) {
+        collected[b] = Multiply(collected[b], up[c], domains_);
+      }
+    }
+    if (parent[b] >= 0) {
+      std::vector<int> adhesion;
+      std::set_intersection(bag_scopes[b].begin(), bag_scopes[b].end(),
+                            bag_scopes[parent[b]].begin(),
+                            bag_scopes[parent[b]].end(),
+                            std::back_inserter(adhesion));
+      up[b] = MarginalizeTo(collected[b], adhesion, domains_);
+    }
+  }
+
+  // Partition function from the roots (product across forest components).
+  result.partition_function = 1.0;
+  for (int b = 0; b < k; ++b) {
+    if (parent[b] == -1) {
+      result.partition_function *= TotalMass(collected[b]);
+    }
+  }
+
+  // Downward pass: belief(b) = collected(b) × message from parent, where
+  // the parent's message excludes b's own upward contribution.
+  std::vector<Factor> down(k);  // message from parent[b] into b
+  std::vector<Factor> beliefs(k);
+  for (int b : order) {
+    beliefs[b] = parent[b] < 0
+                     ? collected[b]
+                     : Multiply(collected[b], down[b], domains_);
+    for (int c : adj[b]) {
+      if (parent[c] != b) continue;
+      // Belief of b divided by c's upward message, marginalized to the
+      // adhesion. Division is numerically fragile; recompute instead:
+      // product of potential, parent message, and the other children.
+      Factor msg = potentials[b];
+      if (parent[b] >= 0) msg = Multiply(msg, down[b], domains_);
+      for (int c2 : adj[b]) {
+        if (parent[c2] == b && c2 != c) {
+          msg = Multiply(msg, up[c2], domains_);
+        }
+      }
+      std::vector<int> adhesion;
+      std::set_intersection(bag_scopes[b].begin(), bag_scopes[b].end(),
+                            bag_scopes[c].begin(), bag_scopes[c].end(),
+                            std::back_inserter(adhesion));
+      down[c] = MarginalizeTo(msg, adhesion, domains_);
+    }
+  }
+
+  // Per-variable marginals from any bag containing the variable.
+  result.marginals.assign(n, {});
+  for (int v = 0; v < n; ++v) {
+    int host = -1;
+    for (int b = 0; b < k && host < 0; ++b) {
+      if (td.bags[b].Contains(v)) host = b;
+    }
+    if (host < 0) return std::nullopt;
+    Factor m = MarginalizeTo(beliefs[host], {v}, domains_);
+    double z = TotalMass(m);
+    result.marginals[v].resize(domains_[v]);
+    for (int x = 0; x < domains_[v]; ++x) {
+      result.marginals[v][x] = z > 0 ? m.table[x] / z : 0.0;
+    }
+  }
+  return result;
+}
+
+JunctionTreeInference::Result JunctionTreeInference::BruteForce() const {
+  const int n = static_cast<int>(domains_.size());
+  Result result;
+  result.marginals.assign(n, {});
+  for (int v = 0; v < n; ++v) result.marginals[v].assign(domains_[v], 0.0);
+
+  std::vector<int> assignment(n, 0);
+  while (true) {
+    double weight = 1.0;
+    for (const Factor& f : factors_) {
+      size_t idx = 0;
+      for (int v : f.scope) {
+        idx = idx * static_cast<size_t>(domains_[v]) +
+              static_cast<size_t>(assignment[v]);
+      }
+      weight *= f.table[idx];
+    }
+    result.partition_function += weight;
+    for (int v = 0; v < n; ++v) result.marginals[v][assignment[v]] += weight;
+
+    int i = n - 1;
+    while (i >= 0 && ++assignment[i] == domains_[i]) assignment[i--] = 0;
+    if (i < 0) break;
+  }
+  for (int v = 0; v < n; ++v) {
+    for (double& p : result.marginals[v]) {
+      if (result.partition_function > 0) p /= result.partition_function;
+    }
+  }
+  return result;
+}
+
+}  // namespace mintri

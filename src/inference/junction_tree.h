@@ -1,0 +1,51 @@
+#ifndef MINTRI_INFERENCE_JUNCTION_TREE_H_
+#define MINTRI_INFERENCE_JUNCTION_TREE_H_
+
+#include <optional>
+#include <vector>
+
+#include "enumeration/tree_decomposition.h"
+#include "inference/factor.h"
+
+namespace mintri {
+
+/// Exact sum-product inference over a junction tree (Lauritzen &
+/// Spiegelhalter, cited as [29] by the paper): the end-to-end consumer that
+/// motivates ranked enumeration of tree decompositions — the runtime and
+/// memory of Run() are governed by the total clique-table size, i.e.,
+/// exactly the TotalStateSpaceCost of the chosen decomposition.
+class JunctionTreeInference {
+ public:
+  /// A discrete graphical model: domains[v] >= 1 per variable, and a list
+  /// of factors whose scopes index into domains.
+  JunctionTreeInference(std::vector<int> domains, std::vector<Factor> factors);
+
+  /// The model's Markov (moral) graph: variables sharing a factor are
+  /// adjacent. Any tree decomposition of this graph supports inference.
+  Graph MarkovGraph() const;
+
+  struct Result {
+    double partition_function = 0;
+    /// marginals[v][x] = P(v = x); normalized.
+    std::vector<std::vector<double>> marginals;
+    /// Total clique-table entries touched — the decomposition's cost.
+    double total_table_entries = 0;
+  };
+
+  /// Two-pass message passing over `td`, which must be a valid tree
+  /// decomposition of MarkovGraph(). Returns std::nullopt when some factor
+  /// scope fits in no bag (i.e., td is not a decomposition of the model).
+  std::optional<Result> Run(const TreeDecomposition& td) const;
+
+  /// Reference results by exhaustive enumeration over all assignments
+  /// (exponential; tests and sanity checks only).
+  Result BruteForce() const;
+
+ private:
+  std::vector<int> domains_;
+  std::vector<Factor> factors_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_INFERENCE_JUNCTION_TREE_H_

@@ -1,0 +1,260 @@
+#include "pmc/potential_maximal_cliques.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace mintri {
+
+bool IsPmc(const Graph& g, const VertexSet& omega) {
+  if (omega.Empty()) return false;
+  const int n = g.NumVertices();
+
+  std::vector<VertexSet> seps;  // N(C) per component of G \ Ω
+  for (const VertexSet& c : g.ComponentsAfterRemoving(omega)) {
+    VertexSet s = g.NeighborhoodOfSet(c);
+    if (s == omega) return false;  // full component: Ω would not be maximal
+    seps.push_back(std::move(s));
+  }
+
+  // Cliquish test: every non-adjacent pair within Ω must be covered by some
+  // component neighborhood. cover_mask[v] = bitset over `seps` containing v.
+  const size_t words = (seps.size() + 63) / 64;
+  std::vector<std::vector<uint64_t>> cover_mask(n,
+                                                std::vector<uint64_t>(words));
+  for (size_t i = 0; i < seps.size(); ++i) {
+    seps[i].ForEach(
+        [&](int v) { cover_mask[v][i >> 6] |= uint64_t{1} << (i & 63); });
+  }
+  std::vector<int> members = omega.ToVector();
+  for (size_t a = 0; a < members.size(); ++a) {
+    for (size_t b = a + 1; b < members.size(); ++b) {
+      int x = members[a], y = members[b];
+      if (g.HasEdge(x, y)) continue;
+      bool covered = false;
+      for (size_t w = 0; w < words; ++w) {
+        if ((cover_mask[x][w] & cover_mask[y][w]) != 0) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// State of the vertex-incremental enumeration, over the relabeled graph
+// whose vertex i is the i-th vertex in the insertion order.
+class IncrementalEnumerator {
+ public:
+  IncrementalEnumerator(const Graph& g, const PmcOptions& options)
+      : g_(g), options_(options), deadline_(options.limits.time_limit_seconds) {}
+
+  // Runs the enumeration; returns PMCs of g (relabeled universe).
+  PmcResult Run() {
+    PmcResult result;
+    const int n = g_.NumVertices();
+    if (n == 0) return result;
+
+    Graph prefix(1);  // G_1: single vertex 0
+    std::vector<VertexSet> pmcs = {VertexSet::Single(1, 0)};
+    std::vector<VertexSet> prev_seps;  // MinSep(G_1) = {}
+
+    for (int i = 1; i < n; ++i) {
+      // Build G_{i+1} over vertices 0..i.
+      Graph next(i + 1);
+      for (int u = 0; u <= i; ++u) {
+        g_.Neighbors(u).ForEach([&](int v) {
+          if (v < u && u <= i) next.AddEdge(u, v);
+        });
+      }
+      EnumerationLimits sep_limits;
+      sep_limits.time_limit_seconds = deadline_.RemainingSeconds();
+      MinimalSeparatorsResult seps = ListMinimalSeparators(next, sep_limits);
+      if (seps.status != EnumerationStatus::kComplete) {
+        result.status = EnumerationStatus::kTruncated;
+        return result;
+      }
+      std::vector<VertexSet> next_pmcs;
+      if (!Step(prefix, next, i, pmcs, seps.separators, &next_pmcs)) {
+        result.status = EnumerationStatus::kTruncated;
+        return result;
+      }
+      prefix = std::move(next);
+      pmcs = std::move(next_pmcs);
+      prev_seps = std::move(seps.separators);
+    }
+    result.pmcs = std::move(pmcs);
+    result.status = EnumerationStatus::kComplete;
+    return result;
+  }
+
+ private:
+  // Computes PMC(G_{i+1}) from PMC(G_i) and MinSep(G_{i+1}); vertex `a = i`
+  // is the new vertex. Returns false when a limit was hit.
+  bool Step(const Graph& prev, const Graph& next, int a,
+            const std::vector<VertexSet>& prev_pmcs,
+            const std::vector<VertexSet>& next_seps,
+            std::vector<VertexSet>* out) {
+    const int n1 = next.NumVertices();
+    std::unordered_set<VertexSet, VertexSetHash> tried;
+    auto consider = [&](VertexSet omega) -> bool {
+      if (omega.Empty() || omega.Count() > options_.max_size) return true;
+      if (!tried.insert(omega).second) return true;
+      if (IsPmc(next, omega)) {
+        out->push_back(std::move(omega));
+        if (out->size() > options_.limits.max_results) return false;
+      }
+      return true;
+    };
+
+    auto lift = [&](const VertexSet& small) {
+      VertexSet big(n1);
+      small.ForEach([&](int v) { big.Insert(v); });
+      return big;
+    };
+    (void)prev;
+
+    // Case 1 & 2: PMCs of the prefix, with and without the new vertex.
+    for (const VertexSet& p : prev_pmcs) {
+      VertexSet omega = lift(p);
+      VertexSet with_a = omega;
+      with_a.Insert(a);
+      if (!consider(std::move(omega))) return false;
+      if (!consider(std::move(with_a))) return false;
+      if (deadline_.Expired()) return false;
+    }
+
+    // Case 3: S ∪ {a} for minimal separators S of G_{i+1}.
+    for (const VertexSet& s : next_seps) {
+      VertexSet omega = s;
+      omega.Insert(a);
+      if (!consider(std::move(omega))) return false;
+      if (deadline_.Expired()) return false;
+    }
+
+    // Case 4: S ∪ (T ∩ C) for S, T ∈ MinSep(G_{i+1}) and C a component of
+    // G_{i+1} \ S. Unless exhaustive_pairs is set, T ranges only over the
+    // separators containing the new vertex a (the Bouchitté–Todinca case
+    // analysis; validated against brute force in the test suite).
+    std::vector<const VertexSet*> t_list;
+    for (const VertexSet& t : next_seps) {
+      if (options_.exhaustive_pairs || t.Contains(a)) t_list.push_back(&t);
+    }
+    for (const VertexSet& s : next_seps) {
+      if (deadline_.Expired()) return false;
+      std::vector<VertexSet> components = next.ComponentsAfterRemoving(s);
+      for (const VertexSet* t : t_list) {
+        if (*t == s) continue;
+        for (const VertexSet& c : components) {
+          VertexSet extra = t->Intersect(c);
+          if (extra.Empty()) continue;
+          VertexSet omega = s.Union(extra);
+          if (!consider(std::move(omega))) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  const Graph& g_;
+  const PmcOptions& options_;
+  Deadline deadline_;
+};
+
+}  // namespace
+
+PmcResult ListPotentialMaximalCliques(const Graph& g,
+                                      const std::vector<VertexSet>& separators,
+                                      const PmcOptions& options) {
+  (void)separators;  // kept in the signature for API symmetry and future use
+  const int n = g.NumVertices();
+  PmcResult result;
+  if (n == 0) return result;
+
+  // A PMC of a disconnected graph is a PMC of one of its components
+  // (minimal triangulations act per component), so recurse component-wise.
+  std::vector<VertexSet> components = g.ConnectedComponents();
+  if (components.size() > 1) {
+    for (const VertexSet& comp : components) {
+      std::vector<int> old_of_new(comp.Count());
+      {
+        int next = 0;
+        comp.ForEach([&](int v) { old_of_new[next++] = v; });
+      }
+      Graph sub = g.InducedSubgraph(comp);
+      PmcResult part = ListPotentialMaximalCliques(sub, {}, options);
+      if (part.status != EnumerationStatus::kComplete) {
+        result.status = EnumerationStatus::kTruncated;
+        return result;
+      }
+      for (const VertexSet& p : part.pmcs) {
+        VertexSet mapped(n);
+        p.ForEach([&](int v) { mapped.Insert(old_of_new[v]); });
+        result.pmcs.push_back(std::move(mapped));
+      }
+    }
+    std::sort(result.pmcs.begin(), result.pmcs.end());
+    result.status = EnumerationStatus::kComplete;
+    return result;
+  }
+
+  // Connectivity-preserving insertion order (BFS from vertex 0), so every
+  // prefix graph is connected.
+  std::vector<int> order;
+  order.reserve(n);
+  {
+    VertexSet visited = VertexSet::Single(n, 0);
+    std::vector<int> queue = {0};
+    for (size_t head = 0; head < queue.size(); ++head) {
+      int v = queue[head];
+      order.push_back(v);
+      g.Neighbors(v).ForEach([&](int u) {
+        if (!visited.Contains(u)) {
+          visited.Insert(u);
+          queue.push_back(u);
+        }
+      });
+    }
+  }
+  assert(static_cast<int>(order.size()) == n);
+
+  // Relabel so that the insertion order is 0..n-1.
+  std::vector<int> new_of_old(n);
+  for (int i = 0; i < n; ++i) new_of_old[order[i]] = i;
+  Graph relabeled(n);
+  for (const auto& [u, v] : g.Edges()) {
+    relabeled.AddEdge(new_of_old[u], new_of_old[v]);
+  }
+
+  IncrementalEnumerator enumerator(relabeled, options);
+  PmcResult inner = enumerator.Run();
+  result.status = inner.status;
+  result.pmcs.reserve(inner.pmcs.size());
+  for (const VertexSet& p : inner.pmcs) {
+    VertexSet mapped(n);
+    p.ForEach([&](int v) { mapped.Insert(order[v]); });
+    result.pmcs.push_back(std::move(mapped));
+  }
+  std::sort(result.pmcs.begin(), result.pmcs.end());
+  return result;
+}
+
+std::vector<VertexSet> PmcsBruteForce(const Graph& g) {
+  const int n = g.NumVertices();
+  std::vector<VertexSet> out;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    VertexSet omega(n);
+    for (int v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) omega.Insert(v);
+    }
+    if (IsPmc(g, omega)) out.push_back(std::move(omega));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace mintri

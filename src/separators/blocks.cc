@@ -1,0 +1,47 @@
+#include "separators/blocks.h"
+
+#include <unordered_set>
+
+namespace mintri {
+
+std::vector<Block> BlocksOfSeparator(const Graph& g, const VertexSet& s) {
+  std::vector<Block> blocks;
+  for (VertexSet& c : g.ComponentsAfterRemoving(s)) {
+    Block b;
+    b.full = (g.NeighborhoodOfSet(c) == s);
+    b.separator = s;
+    b.vertices = s.Union(c);
+    b.component = std::move(c);
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+std::vector<Block> AllFullBlocks(const Graph& g,
+                                 const std::vector<VertexSet>& separators) {
+  std::vector<Block> out;
+  std::unordered_set<VertexSet, VertexSetHash> seen_components;
+  for (const VertexSet& s : separators) {
+    for (Block& b : BlocksOfSeparator(g, s)) {
+      if (!b.full) continue;
+      if (seen_components.insert(b.component).second) {
+        out.push_back(std::move(b));
+      }
+    }
+  }
+  return out;
+}
+
+Graph Realization(const Graph& g, const Block& block,
+                  std::vector<int>* old_to_new) {
+  std::vector<int> map;
+  Graph r = g.InducedSubgraph(block.vertices, &map);
+  // Saturate the (relabeled) separator.
+  VertexSet s_new(r.NumVertices());
+  block.separator.ForEach([&](int v) { s_new.Insert(map[v]); });
+  r.SaturateSet(s_new);
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return r;
+}
+
+}  // namespace mintri

@@ -1,0 +1,100 @@
+#include "separators/minimal_separators.h"
+
+namespace mintri {
+
+bool IsMinimalSeparator(const Graph& g, const VertexSet& s) {
+  if (s.Empty()) return false;
+  int full_components = 0;
+  for (const VertexSet& c : g.ComponentsAfterRemoving(s)) {
+    if (g.NeighborhoodOfSet(c) == s) {
+      if (++full_components >= 2) return true;
+    }
+  }
+  return false;
+}
+
+MinimalSeparatorEnumerator::MinimalSeparatorEnumerator(const Graph& g,
+                                                       int max_size)
+    : g_(g), max_size_(max_size) {
+  // Seeding: the neighborhoods of the components of G \ N[v] are minimal
+  // separators ("close separators" of Berry et al.).
+  for (int v = 0; v < g_.NumVertices(); ++v) {
+    for (const VertexSet& c :
+         g_.ComponentsAfterRemoving(g_.ClosedNeighborhood(v))) {
+      Offer(g_.NeighborhoodOfSet(c));
+    }
+  }
+}
+
+MinimalSeparatorEnumerator::MinimalSeparatorEnumerator(const Graph& g)
+    : MinimalSeparatorEnumerator(g, g.NumVertices()) {}
+
+void MinimalSeparatorEnumerator::Offer(VertexSet s) {
+  if (s.Empty() || s.Count() > max_size_) return;
+  if (seen_.insert(s).second) queue_.push_back(std::move(s));
+}
+
+std::optional<VertexSet> MinimalSeparatorEnumerator::Next() {
+  if (queue_.empty()) return std::nullopt;
+  VertexSet s = std::move(queue_.front());
+  queue_.pop_front();
+  // Expansion: for each x in S, the neighborhoods of the components of
+  // G \ (S ∪ N(x)) are minimal separators.
+  s.ForEach([&](int x) {
+    VertexSet removed = s.Union(g_.Neighbors(x));
+    for (const VertexSet& c : g_.ComponentsAfterRemoving(removed)) {
+      Offer(g_.NeighborhoodOfSet(c));
+    }
+  });
+  return s;
+}
+
+namespace {
+
+MinimalSeparatorsResult ListImpl(const Graph& g, int max_size,
+                                 const EnumerationLimits& limits) {
+  Deadline deadline(limits.time_limit_seconds);
+  MinimalSeparatorsResult result;
+  MinimalSeparatorEnumerator enumerator(g, max_size);
+  while (true) {
+    if (result.separators.size() >= limits.max_results ||
+        deadline.Expired()) {
+      if (!enumerator.Exhausted()) {
+        result.status = EnumerationStatus::kTruncated;
+      }
+      return result;
+    }
+    std::optional<VertexSet> s = enumerator.Next();
+    if (!s.has_value()) break;
+    result.separators.push_back(std::move(*s));
+  }
+  result.status = EnumerationStatus::kComplete;
+  return result;
+}
+
+}  // namespace
+
+MinimalSeparatorsResult ListMinimalSeparators(const Graph& g,
+                                              const EnumerationLimits& limits) {
+  return ListImpl(g, g.NumVertices(), limits);
+}
+
+MinimalSeparatorsResult ListMinimalSeparatorsBounded(
+    const Graph& g, int max_size, const EnumerationLimits& limits) {
+  return ListImpl(g, max_size, limits);
+}
+
+std::vector<VertexSet> MinimalSeparatorsBruteForce(const Graph& g) {
+  const int n = g.NumVertices();
+  std::vector<VertexSet> out;
+  for (uint64_t mask = 1; mask < (uint64_t{1} << n); ++mask) {
+    VertexSet s(n);
+    for (int v = 0; v < n; ++v) {
+      if ((mask >> v) & 1) s.Insert(v);
+    }
+    if (IsMinimalSeparator(g, s)) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace mintri

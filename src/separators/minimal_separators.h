@@ -1,0 +1,85 @@
+#ifndef MINTRI_SEPARATORS_MINIMAL_SEPARATORS_H_
+#define MINTRI_SEPARATORS_MINIMAL_SEPARATORS_H_
+
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/timer.h"
+
+namespace mintri {
+
+/// Stop conditions for potentially exponential enumerations. The paper's
+/// experiments bound both the count and the wall-clock time (e.g., "one
+/// minute for MinSep(G)", Section 7.2).
+struct EnumerationLimits {
+  size_t max_results = std::numeric_limits<size_t>::max();
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+};
+
+enum class EnumerationStatus {
+  kComplete,   // the output is the entire answer set
+  kTruncated,  // a limit was hit; the output is a (valid) prefix
+};
+
+struct MinimalSeparatorsResult {
+  std::vector<VertexSet> separators;
+  EnumerationStatus status = EnumerationStatus::kComplete;
+};
+
+/// True iff s is a minimal (u,v)-separator for some u, v; equivalently, iff
+/// G \ s has at least two full components (components C with N(C) = s).
+/// The empty set is never considered a separator.
+bool IsMinimalSeparator(const Graph& g, const VertexSet& s);
+
+/// Enumerates all minimal separators of g with the algorithm of Berry,
+/// Bordat and Cogis (WG 1999): seed with the "close" separators N(C) for the
+/// components C of G \ N[v] over all v, then repeatedly expand a separator S
+/// through each x ∈ S via the components of G \ (S ∪ N(x)).
+MinimalSeparatorsResult ListMinimalSeparators(
+    const Graph& g, const EnumerationLimits& limits = {});
+
+/// Variant used by the bounded-width algorithm MinTriangB (Section 5.3): only
+/// separators of size at most `max_size` are reported and expanded. The
+/// completeness of the pruned expansion for the bounded regime is validated
+/// against exhaustive search in the test suite.
+MinimalSeparatorsResult ListMinimalSeparatorsBounded(
+    const Graph& g, int max_size, const EnumerationLimits& limits = {});
+
+/// Reference implementation for tests: checks IsMinimalSeparator on every
+/// vertex subset. Exponential; intended for n <= ~16.
+std::vector<VertexSet> MinimalSeparatorsBruteForce(const Graph& g);
+
+/// Pull-based Berry–Bordat–Cogis enumeration: yields one minimal separator
+/// per Next() call, with polynomial delay. The CKK baseline consumes this
+/// stream lazily (it must not pay the full enumeration upfront — having no
+/// initialization step is its selling point in Table 2), and the batch
+/// functions above are thin wrappers.
+class MinimalSeparatorEnumerator {
+ public:
+  /// `g` must outlive the enumerator. Separators larger than `max_size` are
+  /// neither reported nor expanded (use g.NumVertices() for no bound).
+  MinimalSeparatorEnumerator(const Graph& g, int max_size);
+  explicit MinimalSeparatorEnumerator(const Graph& g);
+
+  /// The next minimal separator, or std::nullopt when exhausted.
+  std::optional<VertexSet> Next();
+
+  bool Exhausted() const { return queue_.empty(); }
+
+ private:
+  void Offer(VertexSet s);
+
+  const Graph& g_;
+  int max_size_;
+  std::deque<VertexSet> queue_;
+  std::unordered_set<VertexSet, VertexSetHash> seen_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_SEPARATORS_MINIMAL_SEPARATORS_H_

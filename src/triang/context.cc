@@ -1,0 +1,131 @@
+#include "triang/context.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "separators/blocks.h"
+#include "util/timer.h"
+
+namespace mintri {
+
+std::optional<TriangulationContext> TriangulationContext::Build(
+    const Graph& g, const ContextOptions& options) {
+  assert(g.NumVertices() > 0 && g.IsConnected());
+  WallTimer timer;
+  TriangulationContext ctx;
+  ctx.graph_ = g;
+  ctx.width_bound_ = options.width_bound;
+
+  // Step 1: minimal separators (Berry et al.), possibly size-bounded.
+  MinimalSeparatorsResult seps =
+      options.width_bound >= 0
+          ? ListMinimalSeparatorsBounded(g, options.width_bound,
+                                         options.separator_limits)
+          : ListMinimalSeparators(g, options.separator_limits);
+  if (seps.status != EnumerationStatus::kComplete) return std::nullopt;
+  ctx.minseps_ = std::move(seps.separators);
+  std::sort(ctx.minseps_.begin(), ctx.minseps_.end());
+  for (size_t i = 0; i < ctx.minseps_.size(); ++i) {
+    ctx.separator_ids_[ctx.minseps_[i]] = static_cast<int>(i);
+  }
+
+  // Step 2: potential maximal cliques (Bouchitté–Todinca).
+  PmcOptions pmc_options;
+  pmc_options.limits = options.pmc_limits;
+  if (options.width_bound >= 0) pmc_options.max_size = options.width_bound + 1;
+  PmcResult pmcs = ListPotentialMaximalCliques(g, ctx.minseps_, pmc_options);
+  if (pmcs.status != EnumerationStatus::kComplete) return std::nullopt;
+  ctx.pmcs_ = std::move(pmcs.pmcs);
+
+  // Step 3: full blocks, ascending by |S ∪ C| so that the DP sees children
+  // before parents (children blocks are strictly smaller).
+  ctx.blocks_.clear();
+  for (Block& b : AllFullBlocks(g, ctx.minseps_)) {
+    BlockEntry e;
+    e.separator = std::move(b.separator);
+    e.component = std::move(b.component);
+    e.vertices = std::move(b.vertices);
+    ctx.blocks_.push_back(std::move(e));
+  }
+  std::sort(ctx.blocks_.begin(), ctx.blocks_.end(),
+            [](const BlockEntry& a, const BlockEntry& b) {
+              int ca = a.vertices.Count(), cb = b.vertices.Count();
+              if (ca != cb) return ca < cb;
+              return a.component < b.component;
+            });
+  for (size_t i = 0; i < ctx.blocks_.size(); ++i) {
+    ctx.block_by_component_[ctx.blocks_[i].component] = static_cast<int>(i);
+  }
+
+  // Step 4: DP wiring. For each PMC Ω:
+  //  - its associated blocks in G (components of G \ Ω with their
+  //    neighborhoods) are the children of Ω at the root;
+  //  - for each associated minimal separator S of Ω, the block (S, C*) where
+  //    C* ⊇ Ω \ S is a full block with S ⊂ Ω ⊆ S ∪ C*, and Ω's children
+  //    inside R(S, C*) are the associated blocks whose component lies in C*.
+  ctx.root_candidates_.clear();
+  ctx.root_children_.clear();
+  for (size_t pi = 0; pi < ctx.pmcs_.size(); ++pi) {
+    const VertexSet& omega = ctx.pmcs_[pi];
+
+    // Associated blocks of Ω in G. Every (N(C), C) with C a component of
+    // G \ Ω is a full block (Section 5.1), so the lookup can only fail in
+    // the bounded-width context, where an over-bound separator was never
+    // materialized — then Ω is unusable and skipped.
+    std::vector<int> assoc_ids;
+    bool missing = false;
+    for (const VertexSet& c : g.ComponentsAfterRemoving(omega)) {
+      int bid = ctx.BlockIdByComponent(c);
+      if (bid < 0) {
+        missing = true;
+        break;
+      }
+      assoc_ids.push_back(bid);
+    }
+    if (missing) {
+      assert(options.width_bound >= 0);
+      continue;
+    }
+
+    // Root candidate.
+    ctx.root_candidates_.push_back(static_cast<int>(pi));
+    ctx.root_children_.push_back(assoc_ids);
+
+    // Per-block candidacy: one host block per distinct associated separator.
+    std::set<VertexSet> assoc_seps;
+    for (int bid : assoc_ids) assoc_seps.insert(ctx.blocks_[bid].separator);
+    for (const VertexSet& s : assoc_seps) {
+      VertexSet rest = omega.Minus(s);
+      assert(!rest.Empty());  // S = Ω is impossible for a PMC
+      VertexSet cstar = g.ComponentOf(rest.First(), s);
+      int host = ctx.BlockIdByComponent(cstar);
+      if (host < 0) continue;  // bounded context: block not materialized
+      BlockEntry& block = ctx.blocks_[host];
+      assert(s.IsSubsetOf(omega) && omega.IsSubsetOf(block.vertices));
+      std::vector<int> kids;
+      for (int bid : assoc_ids) {
+        if (cstar.Contains(ctx.blocks_[bid].component.First())) {
+          kids.push_back(bid);
+        }
+      }
+      block.candidate_pmcs.push_back(static_cast<int>(pi));
+      block.children.push_back(std::move(kids));
+    }
+  }
+
+  ctx.init_seconds_ = timer.Seconds();
+  return ctx;
+}
+
+int TriangulationContext::SeparatorId(const VertexSet& s) const {
+  auto it = separator_ids_.find(s);
+  return it == separator_ids_.end() ? -1 : it->second;
+}
+
+int TriangulationContext::BlockIdByComponent(const VertexSet& c) const {
+  auto it = block_by_component_.find(c);
+  return it == block_by_component_.end() ? -1 : it->second;
+}
+
+}  // namespace mintri

@@ -1,0 +1,84 @@
+#ifndef MINTRI_TRIANG_CONTEXT_H_
+#define MINTRI_TRIANG_CONTEXT_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pmc/potential_maximal_cliques.h"
+#include "separators/minimal_separators.h"
+
+namespace mintri {
+
+struct ContextOptions {
+  /// Limits for the minimal-separator enumeration ("one minute" in Fig. 5).
+  EnumerationLimits separator_limits;
+  /// Limits for the PMC enumeration ("30 minutes" in Fig. 5).
+  EnumerationLimits pmc_limits;
+  /// If >= 0, build the bounded-width context of MinTriangB (Section 5.3):
+  /// only minimal separators of size <= width_bound and PMCs of size
+  /// <= width_bound + 1 are computed and used.
+  int width_bound = -1;
+};
+
+/// The "initialization step" of the paper (Section 7.1): the minimal
+/// separators, potential maximal cliques, full blocks and — precomputed once
+/// so that every later MinTriang call is a pure table-filling pass — the
+/// candidate PMCs of each full block and the child blocks of every
+/// (block, Ω) pair. RankedTriang shares one context across all of its
+/// MinTriang invocations, exactly as described in Section 7.1.
+class TriangulationContext {
+ public:
+  /// A full block (S, C) plus its DP wiring.
+  struct BlockEntry {
+    VertexSet separator;  // S
+    VertexSet component;  // C
+    VertexSet vertices;   // S ∪ C
+    /// PMCs Ω with S ⊂ Ω ⊆ S ∪ C, as indices into pmcs.
+    std::vector<int> candidate_pmcs;
+    /// children[k] lists the block ids of the blocks of candidate_pmcs[k]
+    /// inside the realization R(S, C); each is a full block of G (Thm 5.4).
+    std::vector<std::vector<int>> children;
+  };
+
+  /// Builds the context. Returns std::nullopt when a limit was hit (the
+  /// graph is "MS terminated" or "not terminated" in the Fig. 5 sense).
+  /// The graph must be connected and non-empty.
+  static std::optional<TriangulationContext> Build(
+      const Graph& g, const ContextOptions& options = {});
+
+  const Graph& graph() const { return graph_; }
+  const std::vector<VertexSet>& minimal_separators() const { return minseps_; }
+  const std::vector<VertexSet>& pmcs() const { return pmcs_; }
+  const std::vector<BlockEntry>& blocks() const { return blocks_; }
+  /// Root candidates: all PMCs; root_children()[k] are the block ids of the
+  /// blocks associated to pmcs()[root_candidates()[k]] in G.
+  const std::vector<int>& root_candidates() const { return root_candidates_; }
+  const std::vector<std::vector<int>>& root_children() const {
+    return root_children_;
+  }
+  int width_bound() const { return width_bound_; }
+  double init_seconds() const { return init_seconds_; }
+
+  /// Index of a minimal separator in minimal_separators(), or -1.
+  int SeparatorId(const VertexSet& s) const;
+  /// Index of the full block with component c, or -1.
+  int BlockIdByComponent(const VertexSet& c) const;
+
+ private:
+  Graph graph_;
+  std::vector<VertexSet> minseps_;
+  std::vector<VertexSet> pmcs_;
+  std::vector<BlockEntry> blocks_;  // sorted by |S ∪ C| ascending
+  std::vector<int> root_candidates_;
+  std::vector<std::vector<int>> root_children_;
+  std::unordered_map<VertexSet, int, VertexSetHash> separator_ids_;
+  std::unordered_map<VertexSet, int, VertexSetHash> block_by_component_;
+  int width_bound_ = -1;
+  double init_seconds_ = 0;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_TRIANG_CONTEXT_H_

@@ -1,0 +1,31 @@
+#ifndef MINTRI_TRIANG_MIN_TRIANG_H_
+#define MINTRI_TRIANG_MIN_TRIANG_H_
+
+#include <optional>
+
+#include "cost/bag_cost.h"
+#include "triang/context.h"
+#include "triang/triangulation.h"
+
+namespace mintri {
+
+/// MinTriang⟨κ⟩(G) — Figure 3 of the paper. Computes a minimum-κ minimal
+/// triangulation of the context's graph by dynamic programming over the full
+/// blocks in ascending cardinality (Theorem 5.5), choosing for each block
+/// (S, C) the PMC Ω with S ⊂ Ω ⊆ S∪C that minimizes the split-monotone bag
+/// cost of H(S,C) = ∪_i H(S_i,C_i) ∪ K_Ω.
+///
+/// Returns std::nullopt when no triangulation of finite cost exists — this
+/// happens only under constraints (ConstrainedCost, Section 6.1) or a width
+/// bound (bounded context, Section 5.3); for an unbounded context and a
+/// finite cost function a result always exists.
+///
+/// When the context was built with a width bound b this *is* MinTriangB
+/// ⟨b, κ⟩ (Theorem 5.6): the context only materializes separators of size
+/// ≤ b and PMCs of size ≤ b+1.
+std::optional<Triangulation> MinTriang(const TriangulationContext& ctx,
+                                       const BagCost& cost);
+
+}  // namespace mintri
+
+#endif  // MINTRI_TRIANG_MIN_TRIANG_H_

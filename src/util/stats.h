@@ -1,0 +1,37 @@
+#ifndef MINTRI_UTIL_STATS_H_
+#define MINTRI_UTIL_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mintri {
+
+/// Arithmetic mean; 0 for an empty sample.
+inline double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Median (average of the two middle elements for even sizes); 0 if empty.
+inline double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  size_t m = xs.size() / 2;
+  if (xs.size() % 2 == 1) return xs[m];
+  return 0.5 * (xs[m - 1] + xs[m]);
+}
+
+inline double Min(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+inline double Max(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace mintri
+
+#endif  // MINTRI_UTIL_STATS_H_

@@ -1,0 +1,33 @@
+#ifndef MINTRI_UTIL_TABLE_PRINTER_H_
+#define MINTRI_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mintri {
+
+/// Plain-text column-aligned table, used by the benchmark harness to print
+/// the paper's tables and figure series in a stable, diff-friendly layout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; missing trailing cells are rendered empty.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with the given precision, mapping +inf to "-".
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long long v);
+
+  /// Writes the aligned table (header, separator line, rows).
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,54 @@
+#ifndef MINTRI_UTIL_TIMER_H_
+#define MINTRI_UTIL_TIMER_H_
+
+#include <chrono>
+#include <limits>
+
+namespace mintri {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A deadline that long-running enumerations poll to support anytime
+/// semantics (the paper's experiments stop every algorithm after a fixed
+/// wall-clock budget).
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  Deadline() : seconds_(std::numeric_limits<double>::infinity()) {}
+
+  /// Expires `seconds` from now.
+  explicit Deadline(double seconds) : seconds_(seconds) {}
+
+  static Deadline Never() { return Deadline(); }
+
+  bool Expired() const {
+    return seconds_ != std::numeric_limits<double>::infinity() &&
+           timer_.Seconds() >= seconds_;
+  }
+
+  double RemainingSeconds() const { return seconds_ - timer_.Seconds(); }
+
+ private:
+  WallTimer timer_;
+  double seconds_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_UTIL_TIMER_H_

@@ -1,0 +1,170 @@
+#include "workloads/graphical_models.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mintri {
+namespace workloads {
+
+namespace {
+
+// Marries all parents of every child and drops edge directions.
+Graph Moralize(int n, const std::vector<std::vector<int>>& parents) {
+  Graph g(n);
+  for (int child = 0; child < n; ++child) {
+    for (size_t i = 0; i < parents[child].size(); ++i) {
+      g.AddEdge(parents[child][i], child);
+      for (size_t j = i + 1; j < parents[child].size(); ++j) {
+        g.AddEdge(parents[child][i], parents[child][j]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+Graph MoralizedRandomDag(int n, int max_parents, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<int>> parents(n);
+  for (int v = 1; v < n; ++v) {
+    int k = rng.NextInt(1, std::min(max_parents, v));
+    for (int i = 0; i < k; ++i) {
+      int p = rng.NextInt(0, v - 1);
+      if (std::find(parents[v].begin(), parents[v].end(), p) ==
+          parents[v].end()) {
+        parents[v].push_back(p);
+      }
+    }
+  }
+  return Moralize(n, parents);
+}
+
+Graph DbnChain(int slices, int per_slice, double p_intra, double p_inter,
+               uint64_t seed) {
+  Rng rng(seed);
+  const int n = slices * per_slice;
+  Graph g(n);
+  auto id = [per_slice](int s, int i) { return s * per_slice + i; };
+  for (int s = 0; s < slices; ++s) {
+    // Intra-slice structure (identical random pattern per slice would be
+    // truer to a DBN template, so draw it once).
+    for (int i = 0; i < per_slice; ++i) {
+      if (i + 1 < per_slice) g.AddEdge(id(s, i), id(s, i + 1));
+    }
+  }
+  // One template of intra / inter connections, repeated across slices.
+  std::vector<std::pair<int, int>> intra, inter;
+  for (int i = 0; i < per_slice; ++i) {
+    for (int j = i + 1; j < per_slice; ++j) {
+      if (rng.NextBool(p_intra)) intra.emplace_back(i, j);
+    }
+    for (int j = 0; j < per_slice; ++j) {
+      if (rng.NextBool(p_inter)) inter.emplace_back(i, j);
+    }
+  }
+  for (int s = 0; s < slices; ++s) {
+    for (const auto& [i, j] : intra) g.AddEdge(id(s, i), id(s, j));
+    if (s + 1 < slices) {
+      for (const auto& [i, j] : inter) g.AddEdge(id(s, i), id(s + 1, j));
+    }
+  }
+  return g;
+}
+
+Graph SegmentationGraph(int rows, int cols, int extra_links, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  for (int k = 0; k < extra_links; ++k) {
+    int r = rng.NextInt(0, rows - 2);
+    int c = rng.NextInt(0, cols - 2);
+    g.AddEdge(id(r, c), id(r + 1, c + 1));
+  }
+  return g;
+}
+
+Graph PromedasGraph(int diseases, int findings, int max_parents,
+                    uint64_t seed) {
+  Rng rng(seed);
+  const int n = diseases + findings;
+  std::vector<std::vector<int>> parents(n);
+  for (int f = 0; f < findings; ++f) {
+    int child = diseases + f;
+    int k = rng.NextInt(1, max_parents);
+    for (int i = 0; i < k; ++i) {
+      int d = rng.NextInt(0, diseases - 1);
+      if (std::find(parents[child].begin(), parents[child].end(), d) ==
+          parents[child].end()) {
+        parents[child].push_back(d);
+      }
+    }
+  }
+  return Moralize(n, parents);
+}
+
+Graph ObjectDetectionGraph(int parts, double core_p, int periphery,
+                           uint64_t seed) {
+  Rng rng(seed);
+  const int n = parts + periphery;
+  Graph g(n);
+  for (int i = 0; i < parts; ++i) {
+    g.AddEdge(i, (i + 1) % parts);  // ring backbone keeps the core connected
+    for (int j = i + 2; j < parts; ++j) {
+      if (rng.NextBool(core_p)) g.AddEdge(i, j);
+    }
+  }
+  for (int p = 0; p < periphery; ++p) {
+    int v = parts + p;
+    int attach = rng.NextInt(1, 2);
+    for (int i = 0; i < attach; ++i) g.AddEdge(v, rng.NextInt(0, parts - 1));
+  }
+  return g;
+}
+
+Graph CspGraph(int n, int constraints, int arity, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);  // keep connected
+  for (int c = 0; c < constraints; ++c) {
+    int k = rng.NextInt(2, arity);
+    std::vector<int> scope;
+    for (int i = 0; i < k; ++i) scope.push_back(rng.NextInt(0, n - 1));
+    for (size_t i = 0; i < scope.size(); ++i) {
+      for (size_t j = i + 1; j < scope.size(); ++j) {
+        g.AddEdge(scope[i], scope[j]);
+      }
+    }
+  }
+  return g;
+}
+
+Graph ImageAlignmentGraph(int rows, int cols, int matches, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  for (int k = 0; k < matches; ++k) {
+    int r1 = rng.NextInt(0, rows - 1), c1 = rng.NextInt(0, cols - 1);
+    int r2 = std::min(rows - 1, r1 + rng.NextInt(0, 2));
+    int c2 = std::min(cols - 1, c1 + rng.NextInt(0, 2));
+    if (id(r1, c1) != id(r2, c2)) g.AddEdge(id(r1, c1), id(r2, c2));
+  }
+  return g;
+}
+
+}  // namespace workloads
+}  // namespace mintri

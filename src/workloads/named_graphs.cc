@@ -1,0 +1,113 @@
+#include "workloads/named_graphs.h"
+
+#include <cassert>
+
+namespace mintri {
+namespace workloads {
+
+Graph Path(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph Cycle(int n) {
+  Graph g = Path(n);
+  if (n >= 3) g.AddEdge(n - 1, 0);
+  return g;
+}
+
+Graph Complete(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph CompleteBipartite(int a, int b) {
+  Graph g(a + b);
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) g.AddEdge(i, a + j);
+  }
+  return g;
+}
+
+Graph Star(int leaves) { return CompleteBipartite(1, leaves); }
+
+Graph Grid(int rows, int cols, bool diagonals) {
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.AddEdge(id(r, c), id(r + 1, c));
+      if (diagonals && r + 1 < rows && c + 1 < cols) {
+        g.AddEdge(id(r, c), id(r + 1, c + 1));
+      }
+    }
+  }
+  return g;
+}
+
+Graph Petersen() {
+  Graph g(10);
+  for (int i = 0; i < 5; ++i) {
+    g.AddEdge(i, (i + 1) % 5);        // outer pentagon
+    g.AddEdge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    g.AddEdge(i, 5 + i);              // spokes
+  }
+  return g;
+}
+
+Graph Mycielski(int k) {
+  assert(k >= 2);
+  Graph g = Complete(2);  // K2
+  for (int step = 2; step < k; ++step) {
+    const int n = g.NumVertices();
+    Graph next(2 * n + 1);
+    for (const auto& [u, v] : g.Edges()) {
+      next.AddEdge(u, v);          // original
+      next.AddEdge(n + u, v);      // shadow u_i ~ N(v_i)
+      next.AddEdge(n + v, u);
+    }
+    const int w = 2 * n;
+    for (int i = 0; i < n; ++i) next.AddEdge(n + i, w);
+    g = std::move(next);
+  }
+  return g;
+}
+
+Graph Queen(int n) {
+  Graph g(n * n);
+  auto id = [n](int r, int c) { return r * n + c; };
+  for (int r1 = 0; r1 < n; ++r1) {
+    for (int c1 = 0; c1 < n; ++c1) {
+      for (int r2 = 0; r2 < n; ++r2) {
+        for (int c2 = 0; c2 < n; ++c2) {
+          if (r1 == r2 && c1 == c2) continue;
+          if (r1 == r2 || c1 == c2 || r1 - c1 == r2 - c2 ||
+              r1 + c1 == r2 + c2) {
+            g.AddEdge(id(r1, c1), id(r2, c2));
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph Hypercube(int d) {
+  const int n = 1 << d;
+  Graph g(n);
+  for (int v = 0; v < n; ++v) {
+    for (int bit = 0; bit < d; ++bit) {
+      int u = v ^ (1 << bit);
+      if (u > v) g.AddEdge(v, u);
+    }
+  }
+  return g;
+}
+
+}  // namespace workloads
+}  // namespace mintri

@@ -1,0 +1,36 @@
+#ifndef MINTRI_WORKLOADS_NAMED_GRAPHS_H_
+#define MINTRI_WORKLOADS_NAMED_GRAPHS_H_
+
+#include "graph/graph.h"
+
+namespace mintri {
+namespace workloads {
+
+Graph Path(int n);
+Graph Cycle(int n);
+Graph Complete(int n);
+Graph CompleteBipartite(int a, int b);
+Graph Star(int leaves);
+
+/// r × c grid; with `diagonals`, each cell also connects to its
+/// down-right neighbor (king-move grids appear in MRF benchmarks).
+Graph Grid(int rows, int cols, bool diagonals = false);
+
+Graph Petersen();
+
+/// Iterated Mycielskian starting from K2: Mycielski(2) = K2,
+/// Mycielski(3) = C5, Mycielski(4) = Grötzsch graph (11 vertices),
+/// Mycielski(5) = 23 vertices — the family behind the DIMACS "myciel"
+/// coloring instances; the paper's CSP case study uses myciel5g.
+Graph Mycielski(int k);
+
+/// n × n queen graph (DIMACS coloring benchmark family queenN_N).
+Graph Queen(int n);
+
+/// d-dimensional hypercube Q_d (2^d vertices).
+Graph Hypercube(int d);
+
+}  // namespace workloads
+}  // namespace mintri
+
+#endif  // MINTRI_WORKLOADS_NAMED_GRAPHS_H_

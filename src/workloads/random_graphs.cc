@@ -1,0 +1,59 @@
+#include "workloads/random_graphs.h"
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mintri {
+namespace workloads {
+
+Graph ErdosRenyi(int n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.NextBool(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph RandomTree(int n, uint64_t seed) {
+  Graph g(n);
+  if (n <= 1) return g;
+  if (n == 2) {
+    g.AddEdge(0, 1);
+    return g;
+  }
+  Rng rng(seed);
+  // Prüfer decoding.
+  std::vector<int> prufer(n - 2);
+  for (int& x : prufer) x = rng.NextInt(0, n - 1);
+  std::vector<int> degree(n, 1);
+  for (int x : prufer) ++degree[x];
+  for (int x : prufer) {
+    for (int leaf = 0; leaf < n; ++leaf) {
+      if (degree[leaf] == 1) {
+        g.AddEdge(leaf, x);
+        --degree[leaf];
+        --degree[x];
+        break;
+      }
+    }
+  }
+  int a = -1, b = -1;
+  for (int v = 0; v < n; ++v) {
+    if (degree[v] == 1) (a < 0 ? a : b) = v;
+  }
+  g.AddEdge(a, b);
+  return g;
+}
+
+Graph ConnectedErdosRenyi(int n, double p, uint64_t seed) {
+  Graph g = ErdosRenyi(n, p, seed);
+  Graph tree = RandomTree(n, seed ^ 0x5bd1e995ULL);
+  return Graph::UnionOf(g, tree);
+}
+
+}  // namespace workloads
+}  // namespace mintri

@@ -1,0 +1,26 @@
+#ifndef MINTRI_WORKLOADS_RANDOM_GRAPHS_H_
+#define MINTRI_WORKLOADS_RANDOM_GRAPHS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace mintri {
+namespace workloads {
+
+/// The Erdős–Rényi model G(n, p) used throughout Section 7: every pair is an
+/// edge independently with probability p. Deterministic given the seed.
+Graph ErdosRenyi(int n, double p, uint64_t seed);
+
+/// G(n, p) conditioned on connectivity: a uniformly random spanning tree is
+/// layered underneath the ER edges. Used where the algorithms require a
+/// connected input.
+Graph ConnectedErdosRenyi(int n, double p, uint64_t seed);
+
+/// A uniformly random labeled tree on n vertices (random Prüfer sequence).
+Graph RandomTree(int n, uint64_t seed);
+
+}  // namespace workloads
+}  // namespace mintri
+
+#endif  // MINTRI_WORKLOADS_RANDOM_GRAPHS_H_

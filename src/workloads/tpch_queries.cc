@@ -1,0 +1,164 @@
+#include "workloads/tpch_queries.h"
+
+#include <cassert>
+#include <map>
+
+namespace mintri {
+namespace workloads {
+
+namespace {
+
+// Builds a TpchQuery from relation labels and label pairs.
+TpchQuery Make(int number, std::vector<std::string> relations,
+               std::vector<std::pair<std::string, std::string>> joins) {
+  TpchQuery q;
+  q.number = number;
+  q.relations = std::move(relations);
+  std::map<std::string, int> index;
+  for (size_t i = 0; i < q.relations.size(); ++i) {
+    index[q.relations[i]] = static_cast<int>(i);
+  }
+  q.graph = Graph(static_cast<int>(q.relations.size()));
+  for (const auto& [a, b] : joins) {
+    assert(index.count(a) && index.count(b));
+    q.graph.AddEdge(index[a], index[b]);
+  }
+  return q;
+}
+
+}  // namespace
+
+TpchQuery TpchQueryGraph(int query) {
+  // Relation occurrences and join predicates of the 22 TPC-H queries.
+  // Correlated subqueries contribute their own occurrences (suffix "2").
+  switch (query) {
+    case 1:
+      return Make(1, {"lineitem"}, {});
+    case 2:
+      return Make(2,
+                  {"part", "supplier", "partsupp", "nation", "region",
+                   "partsupp2", "supplier2", "nation2", "region2"},
+                  {{"part", "partsupp"},
+                   {"supplier", "partsupp"},
+                   {"supplier", "nation"},
+                   {"nation", "region"},
+                   {"part", "partsupp2"},
+                   {"supplier2", "partsupp2"},
+                   {"supplier2", "nation2"},
+                   {"nation2", "region2"}});
+    case 3:
+      return Make(3, {"customer", "orders", "lineitem"},
+                  {{"customer", "orders"}, {"orders", "lineitem"}});
+    case 4:
+      return Make(4, {"orders", "lineitem"}, {{"orders", "lineitem"}});
+    case 5:
+      return Make(5,
+                  {"customer", "orders", "lineitem", "supplier", "nation",
+                   "region"},
+                  {{"customer", "orders"},
+                   {"orders", "lineitem"},
+                   {"lineitem", "supplier"},
+                   {"customer", "nation"},
+                   {"supplier", "nation"},
+                   {"nation", "region"}});
+    case 6:
+      return Make(6, {"lineitem"}, {});
+    case 7:
+      return Make(7,
+                  {"supplier", "lineitem", "orders", "customer", "nation1",
+                   "nation2"},
+                  {{"supplier", "lineitem"},
+                   {"orders", "lineitem"},
+                   {"customer", "orders"},
+                   {"supplier", "nation1"},
+                   {"customer", "nation2"}});
+    case 8:
+      return Make(8,
+                  {"part", "supplier", "lineitem", "orders", "customer",
+                   "nation1", "nation2", "region"},
+                  {{"part", "lineitem"},
+                   {"supplier", "lineitem"},
+                   {"lineitem", "orders"},
+                   {"orders", "customer"},
+                   {"customer", "nation1"},
+                   {"nation1", "region"},
+                   {"supplier", "nation2"}});
+    case 9:
+      return Make(9,
+                  {"part", "supplier", "lineitem", "partsupp", "orders",
+                   "nation"},
+                  {{"part", "lineitem"},
+                   {"supplier", "lineitem"},
+                   {"partsupp", "lineitem"},
+                   {"partsupp", "part"},
+                   {"partsupp", "supplier"},
+                   {"orders", "lineitem"},
+                   {"supplier", "nation"}});
+    case 10:
+      return Make(10, {"customer", "orders", "lineitem", "nation"},
+                  {{"customer", "orders"},
+                   {"orders", "lineitem"},
+                   {"customer", "nation"}});
+    case 11:
+      return Make(11,
+                  {"partsupp", "supplier", "nation", "partsupp2", "supplier2",
+                   "nation2"},
+                  {{"partsupp", "supplier"},
+                   {"supplier", "nation"},
+                   {"partsupp2", "supplier2"},
+                   {"supplier2", "nation2"}});
+    case 12:
+      return Make(12, {"orders", "lineitem"}, {{"orders", "lineitem"}});
+    case 13:
+      return Make(13, {"customer", "orders"}, {{"customer", "orders"}});
+    case 14:
+      return Make(14, {"lineitem", "part"}, {{"lineitem", "part"}});
+    case 15:
+      return Make(15, {"supplier", "lineitem", "lineitem2"},
+                  {{"supplier", "lineitem"}});
+    case 16:
+      return Make(16, {"partsupp", "part", "supplier"},
+                  {{"partsupp", "part"}, {"partsupp", "supplier"}});
+    case 17:
+      return Make(17, {"lineitem", "part", "lineitem2"},
+                  {{"lineitem", "part"}, {"part", "lineitem2"}});
+    case 18:
+      return Make(18, {"customer", "orders", "lineitem", "lineitem2"},
+                  {{"customer", "orders"},
+                   {"orders", "lineitem"},
+                   {"orders", "lineitem2"}});
+    case 19:
+      return Make(19, {"lineitem", "part"}, {{"lineitem", "part"}});
+    case 20:
+      return Make(20,
+                  {"supplier", "nation", "partsupp", "part", "lineitem"},
+                  {{"supplier", "nation"},
+                   {"supplier", "partsupp"},
+                   {"partsupp", "part"},
+                   {"partsupp", "lineitem"}});
+    case 21:
+      return Make(21,
+                  {"supplier", "lineitem1", "orders", "nation", "lineitem2",
+                   "lineitem3"},
+                  {{"supplier", "lineitem1"},
+                   {"orders", "lineitem1"},
+                   {"supplier", "nation"},
+                   {"lineitem1", "lineitem2"},
+                   {"lineitem1", "lineitem3"}});
+    case 22:
+      return Make(22, {"customer", "customer2", "orders"}, {});
+    default:
+      assert(false && "TPC-H query number must be in 1..22");
+      return Make(0, {}, {});
+  }
+}
+
+std::vector<TpchQuery> AllTpchQueries() {
+  std::vector<TpchQuery> out;
+  out.reserve(22);
+  for (int q = 1; q <= 22; ++q) out.push_back(TpchQueryGraph(q));
+  return out;
+}
+
+}  // namespace workloads
+}  // namespace mintri

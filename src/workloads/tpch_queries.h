@@ -1,0 +1,33 @@
+#ifndef MINTRI_WORKLOADS_TPCH_QUERIES_H_
+#define MINTRI_WORKLOADS_TPCH_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mintri {
+namespace workloads {
+
+/// A TPC-H join query as a Gaifman (join) graph: one vertex per relation
+/// occurrence, one edge per join predicate. These are the "database queries
+/// (TPC-H)" graphs of Section 7.1, hand-coded from the benchmark's 22
+/// queries (self-joins and correlated subqueries contribute separate
+/// occurrences). As in the paper, these graphs are tiny and all their
+/// minimal triangulations enumerate within seconds.
+struct TpchQuery {
+  int number;                        // 1..22
+  std::vector<std::string> relations;  // vertex labels
+  Graph graph;
+};
+
+/// The join graph of TPC-H query q (1..22).
+TpchQuery TpchQueryGraph(int q);
+
+/// All 22 queries.
+std::vector<TpchQuery> AllTpchQueries();
+
+}  // namespace workloads
+}  // namespace mintri
+
+#endif  // MINTRI_WORKLOADS_TPCH_QUERIES_H_

@@ -1,0 +1,97 @@
+#include "chordal/chordality.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+using testutil::MakeGraph;
+
+Graph Cycle3WithPendant() {
+  return MakeGraph(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+}
+
+TEST(ChordalityTest, SmallChordalGraphs) {
+  EXPECT_TRUE(IsChordal(Graph(0)));
+  EXPECT_TRUE(IsChordal(Graph(1)));
+  EXPECT_TRUE(IsChordal(workloads::Path(6)));
+  EXPECT_TRUE(IsChordal(workloads::Complete(5)));
+  EXPECT_TRUE(IsChordal(workloads::Star(5)));
+  EXPECT_TRUE(IsChordal(Cycle3WithPendant()));
+}
+
+TEST(ChordalityTest, CyclesAreNotChordal) {
+  for (int n = 4; n <= 9; ++n) {
+    EXPECT_FALSE(IsChordal(workloads::Cycle(n))) << "C" << n;
+  }
+  EXPECT_TRUE(IsChordal(workloads::Cycle(3)));
+}
+
+TEST(ChordalityTest, PaperExampleIsNotChordal) {
+  // The paper notes G has the chordless cycle u-w1-v-w2-u.
+  EXPECT_FALSE(IsChordal(testutil::PaperExampleGraph()));
+}
+
+TEST(ChordalityTest, PaperTriangulationsAreChordal) {
+  Graph g = testutil::PaperExampleGraph();
+  Graph h1 = g;  // saturate {w1,w2,w3} = {3,4,5}
+  h1.SaturateSet(VertexSet::Of(6, {3, 4, 5}));
+  EXPECT_TRUE(IsChordal(h1));
+  Graph h2 = g;  // saturate {u,v} = {0,1}
+  h2.SaturateSet(VertexSet::Of(6, {0, 1}));
+  EXPECT_TRUE(IsChordal(h2));
+}
+
+TEST(ChordalityTest, GridsAreNotChordal) {
+  EXPECT_FALSE(IsChordal(workloads::Grid(3, 3)));
+  EXPECT_FALSE(IsChordal(workloads::Grid(2, 2)));  // C4
+}
+
+TEST(ChordalityTest, PeoIsValidatedAndRejected) {
+  // K4 minus an edge (a "diamond"): 0-1-2-3 with chord 1-3... build directly.
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}});
+  EXPECT_TRUE(IsChordal(g));
+  // 1 and 3 are the "ears": eliminating 0 or 2 first is perfect.
+  EXPECT_TRUE(IsPerfectEliminationOrdering(g, {0, 2, 1, 3}));
+  // Eliminating 1 first leaves the chordless demand {0,2,3}... 0's later
+  // neighbors {2?no}. Construct an invalid order: eliminate 0 last fails?
+  // For C4 (no chord), no PEO exists at all:
+  Graph c4 = workloads::Cycle(4);
+  EXPECT_FALSE(IsPerfectEliminationOrdering(c4, {0, 1, 2, 3}));
+  EXPECT_FALSE(IsPerfectEliminationOrdering(c4, {0, 2, 1, 3}));
+}
+
+TEST(ChordalityTest, McsVisitsAllVertices) {
+  Graph g = workloads::Grid(3, 4);
+  std::vector<int> order = MaximumCardinalitySearch(g);
+  EXPECT_EQ(order.size(), 12u);
+  std::vector<bool> seen(12, false);
+  for (int v : order) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+// Chordality is monotone under saturating a minimal triangulation: random
+// graphs become chordal after saturating all bags of one of their
+// triangulations (cross-checked further in lb_triang_test).
+class ChordalityRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChordalityRandomTest, PeoExistsIffChordal) {
+  // For random graphs: if IsChordal says true, the MCS order must validate;
+  // if false, spot-check a handful of orders also fail (necessary condition).
+  Graph g = workloads::ErdosRenyi(8, 0.4, GetParam());
+  std::vector<int> order = MaximumCardinalitySearch(g);
+  std::reverse(order.begin(), order.end());
+  EXPECT_EQ(IsChordal(g), IsPerfectEliminationOrdering(g, order));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChordalityRandomTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mintri

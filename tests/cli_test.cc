@@ -1,0 +1,84 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mintri {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult Invoke(const std::vector<std::string>& args, const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out, err;
+  int code = RunCli(args, in, out, err);
+  return {code, out.str(), err.str()};
+}
+
+constexpr char kC4[] =
+    "p tw 4 4\n"
+    "1 2\n2 3\n3 4\n4 1\n";
+
+TEST(CliTest, RankedSummaryOnC4) {
+  CliResult r = Invoke({"--cost=fill", "--top=10"}, kC4);
+  EXPECT_EQ(r.code, 0) << r.err;
+  // C4 has exactly two minimal triangulations, both fill 1.
+  EXPECT_NE(r.out.find("#1 cost=1 width=2 fill=1"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("#2 cost=1 width=2 fill=1"), std::string::npos);
+  EXPECT_EQ(r.out.find("#3"), std::string::npos);
+}
+
+TEST(CliTest, TdFormatIsWellFormed) {
+  CliResult r = Invoke({"--format=td", "--top=1"}, kC4);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("s td 2 3 4\n"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("b 1 "), std::string::npos);
+  EXPECT_NE(r.out.find("b 2 "), std::string::npos);
+}
+
+TEST(CliTest, CkkBaseline) {
+  CliResult r = Invoke({"--algo=ckk", "--top=10"}, kC4);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("#2"), std::string::npos);
+  EXPECT_EQ(r.out.find("#3"), std::string::npos);
+}
+
+TEST(CliTest, BoundedWidth) {
+  // Width bound 1 on C4: infeasible, no output rows but exit 0.
+  CliResult r = Invoke({"--bound=1"}, kC4);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.find("#1"), std::string::npos);
+}
+
+TEST(CliTest, DisconnectedGraphWorksWithRanked) {
+  CliResult r = Invoke({"--cost=fill", "--top=5"},
+                    "p tw 8 8\n1 2\n2 3\n3 4\n4 1\n5 6\n6 7\n7 8\n8 5\n");
+  EXPECT_EQ(r.code, 0) << r.err;
+  // Two C4s: 2x2 = 4 minimal triangulations, total fill 2 each.
+  EXPECT_NE(r.out.find("#4 cost=2"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("#5"), std::string::npos);
+}
+
+TEST(CliTest, ErrorsAreReported) {
+  EXPECT_EQ(Invoke({"--cost=bogus"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--algo=bogus"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--fancy"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({}, "not a graph").code, 1);
+  EXPECT_EQ(Invoke({"nonexistent_file.gr"}, "").code, 1);
+}
+
+TEST(CliTest, StateSpaceCost) {
+  CliResult r = Invoke({"--cost=state-space", "--top=1"}, kC4);
+  EXPECT_EQ(r.code, 0) << r.err;
+  // Two bags of 3 binary variables: 8 + 8 = 16.
+  EXPECT_NE(r.out.find("cost=16"), std::string::npos) << r.out;
+}
+
+}  // namespace
+}  // namespace mintri

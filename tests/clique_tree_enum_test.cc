@@ -1,0 +1,74 @@
+#include "enumeration/clique_tree_enum.h"
+
+#include <gtest/gtest.h>
+
+#include "chordal/lb_triang.h"
+#include "enumeration/tree_decomposition.h"
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+TEST(CliqueTreeEnumTest, PathHasCaterpillarCount) {
+  // P4's clique tree over cliques {01},{12},{23}: adhesions {1},{2};
+  // the only maximum spanning tree is the path itself -> 1 clique tree...
+  // Actually {01}-{23} have empty intersection (weight 0), so the unique
+  // maximum spanning tree is the chain.
+  auto trees = EnumerateCliqueTrees(workloads::Path(4));
+  EXPECT_EQ(trees.size(), 1u);
+}
+
+TEST(CliqueTreeEnumTest, StarOfTrianglesHasMultipleCliqueTrees) {
+  // Two triangles sharing vertex 0 plus an edge... use the paper's T2/T2'':
+  // the example graph's triangulation H2 has clique trees T2 and T2''.
+  Graph g = testutil::PaperExampleGraph();
+  Graph h2 = g;
+  h2.SaturateSet(VertexSet::Of(6, {0, 1}));  // saturate {u,v}
+  auto trees = EnumerateCliqueTrees(h2);
+  // Cliques: {u,v,w1}, {u,v,w2}, {u,v,w3}, {v,v'}. The three uvwi cliques
+  // pairwise intersect in {u,v} (weight 2): any spanning tree among them
+  // works (3 labeled trees on 3 nodes), and {v,v'} can hang off any of the
+  // three (x3) -> 9 clique trees.
+  EXPECT_EQ(trees.size(), 9u);
+  for (const CliqueTree& t : trees) {
+    TreeDecomposition td;
+    td.bags = t.cliques;
+    td.edges = t.edges;
+    EXPECT_TRUE(td.IsProperFor(g));
+  }
+}
+
+TEST(CliqueTreeEnumTest, CompleteGraphHasOne) {
+  auto trees = EnumerateCliqueTrees(workloads::Complete(4));
+  EXPECT_EQ(trees.size(), 1u);
+  EXPECT_TRUE(trees[0].edges.empty());
+}
+
+TEST(CliqueTreeEnumTest, AllResultsAreValidCliqueTrees) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(9, 0.3, 40000 + seed);
+    Graph h = LbTriangMinDegree(g);
+    auto trees = EnumerateCliqueTrees(h, /*limit=*/200);
+    EXPECT_FALSE(trees.empty());
+    for (const CliqueTree& t : trees) {
+      TreeDecomposition td;
+      td.bags = t.cliques;
+      td.edges = t.edges;
+      EXPECT_TRUE(td.IsValidFor(h));
+      EXPECT_TRUE(td.IsProperFor(g));
+    }
+  }
+}
+
+TEST(CliqueTreeEnumTest, LimitIsRespected) {
+  Graph g = testutil::PaperExampleGraph();
+  Graph h2 = g;
+  h2.SaturateSet(VertexSet::Of(6, {0, 1}));
+  auto trees = EnumerateCliqueTrees(h2, /*limit=*/4);
+  EXPECT_EQ(trees.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mintri

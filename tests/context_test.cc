@@ -1,0 +1,106 @@
+#include "triang/context.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+TEST(ContextTest, PaperExampleCounts) {
+  Graph g = testutil::PaperExampleGraph();
+  auto ctx = TriangulationContext::Build(g);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(ctx->minimal_separators().size(), 3u);
+  EXPECT_EQ(ctx->pmcs().size(), 6u);
+  // Full blocks: S1 has 2, S2 has 3, S3 has 2 -> 7.
+  EXPECT_EQ(ctx->blocks().size(), 7u);
+  EXPECT_EQ(ctx->root_candidates().size(), 6u);
+  EXPECT_GT(ctx->init_seconds(), 0.0);
+}
+
+TEST(ContextTest, BlocksSortedAscending) {
+  Graph g = workloads::Grid(3, 3);
+  auto ctx = TriangulationContext::Build(g);
+  ASSERT_TRUE(ctx.has_value());
+  for (size_t i = 1; i < ctx->blocks().size(); ++i) {
+    EXPECT_LE(ctx->blocks()[i - 1].vertices.Count(),
+              ctx->blocks()[i].vertices.Count());
+  }
+}
+
+TEST(ContextTest, ChildrenAreStrictlySmallerBlocks) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(9, 0.3, 8000 + seed);
+    auto ctx = TriangulationContext::Build(g);
+    ASSERT_TRUE(ctx.has_value());
+    for (size_t i = 0; i < ctx->blocks().size(); ++i) {
+      const auto& block = ctx->blocks()[i];
+      ASSERT_EQ(block.candidate_pmcs.size(), block.children.size());
+      for (size_t k = 0; k < block.candidate_pmcs.size(); ++k) {
+        const VertexSet& omega = ctx->pmcs()[block.candidate_pmcs[k]];
+        // S ⊂ Ω ⊆ S ∪ C.
+        EXPECT_TRUE(block.separator.IsSubsetOf(omega));
+        EXPECT_NE(block.separator, omega);
+        EXPECT_TRUE(omega.IsSubsetOf(block.vertices));
+        for (int cid : block.children[k]) {
+          const auto& child = ctx->blocks()[cid];
+          EXPECT_LT(child.vertices.Count(), block.vertices.Count());
+          EXPECT_TRUE(child.vertices.IsSubsetOf(block.vertices));
+          // The child's separator is contained in Ω.
+          EXPECT_TRUE(child.separator.IsSubsetOf(omega));
+        }
+      }
+    }
+  }
+}
+
+TEST(ContextTest, EveryBlockHasACandidate) {
+  // Theorem 5.4 guarantees every full-block realization has a minimal
+  // triangulation topped by a PMC of G.
+  for (int seed = 0; seed < 8; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(10, 0.25, 9000 + seed);
+    auto ctx = TriangulationContext::Build(g);
+    ASSERT_TRUE(ctx.has_value());
+    for (const auto& block : ctx->blocks()) {
+      EXPECT_FALSE(block.candidate_pmcs.empty())
+          << "block " << block.vertices.ToString() << " separator "
+          << block.separator.ToString();
+    }
+  }
+}
+
+TEST(ContextTest, SeparatorLimitsReported) {
+  Graph g = workloads::Grid(4, 4);
+  ContextOptions options;
+  options.separator_limits.max_results = 3;
+  EXPECT_FALSE(TriangulationContext::Build(g, options).has_value());
+}
+
+TEST(ContextTest, SeparatorIdRoundTrip) {
+  Graph g = testutil::PaperExampleGraph();
+  auto ctx = TriangulationContext::Build(g);
+  ASSERT_TRUE(ctx.has_value());
+  for (size_t i = 0; i < ctx->minimal_separators().size(); ++i) {
+    EXPECT_EQ(ctx->SeparatorId(ctx->minimal_separators()[i]),
+              static_cast<int>(i));
+  }
+  EXPECT_EQ(ctx->SeparatorId(VertexSet::Of(6, {0, 2})), -1);
+}
+
+TEST(ContextTest, BoundedContextFiltersSizes) {
+  Graph g = workloads::Grid(3, 3);
+  ContextOptions options;
+  options.width_bound = 3;
+  auto ctx = TriangulationContext::Build(g, options);
+  ASSERT_TRUE(ctx.has_value());
+  for (const VertexSet& s : ctx->minimal_separators()) {
+    EXPECT_LE(s.Count(), 3);
+  }
+  for (const VertexSet& p : ctx->pmcs()) EXPECT_LE(p.Count(), 4);
+}
+
+}  // namespace
+}  // namespace mintri

@@ -1,0 +1,157 @@
+#include "cost/standard_costs.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/constrained_cost.h"
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+
+namespace mintri {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(WidthCostTest, EvaluateIsMaxBagMinusOne) {
+  Graph g = workloads::Path(4);
+  WidthCost width;
+  std::vector<VertexSet> bags = {VertexSet::Of(4, {0, 1}),
+                                 VertexSet::Of(4, {1, 2, 3})};
+  EXPECT_EQ(width.Evaluate(g, bags), 2);
+}
+
+TEST(FillInCostTest, EvaluateCountsSaturationEdges) {
+  Graph g = workloads::Cycle(4);
+  FillInCost fill;
+  // Bags of the chord-0-2 triangulation.
+  std::vector<VertexSet> bags = {VertexSet::Of(4, {0, 1, 2}),
+                                 VertexSet::Of(4, {0, 2, 3})};
+  EXPECT_EQ(fill.Evaluate(g, bags), 1);
+  // Saturating everything adds both chords.
+  EXPECT_EQ(fill.Evaluate(g, {g.Vertices()}), 2);
+}
+
+TEST(FillInCostTest, CombineMatchesEvaluateOnTwoBagTree) {
+  // Clique tree: root {0,1,2} -- child {0,2,3} over separator {0,2} (the
+  // chord). The child's new pairs must not re-count the chord.
+  Graph g = workloads::Cycle(4);
+  FillInCost fill;
+  VertexSet root = VertexSet::Of(4, {0, 1, 2});
+  VertexSet child = VertexSet::Of(4, {0, 2, 3});
+  VertexSet sep = VertexSet::Of(4, {0, 2});
+  VertexSet child_block = VertexSet::Of(4, {0, 2, 3});
+  VertexSet all = g.Vertices();
+
+  std::vector<const VertexSet*> no_blocks;
+  std::vector<CostValue> no_costs;
+  CombineContext leaf{g, child, sep, child_block, no_blocks, no_costs};
+  CostValue leaf_cost = fill.Combine(leaf);
+  EXPECT_EQ(leaf_cost, 0);  // 0-3 and 2-3 are edges; 0-2 is in the separator
+
+  std::vector<const VertexSet*> blocks = {&child_block};
+  std::vector<CostValue> costs = {leaf_cost};
+  VertexSet empty(4);
+  CombineContext top{g, root, empty, all, blocks, costs};
+  EXPECT_EQ(fill.Combine(top), 1);  // the chord 0-2 counted exactly once
+  EXPECT_EQ(fill.Combine(top), fill.Evaluate(g, {root, child}));
+}
+
+TEST(NewFillPairsTest, CountsOnlyNewNonEdges) {
+  Graph g = workloads::Cycle(5);
+  // Omega {0,1,2}: non-edge 0-2 only.
+  EXPECT_EQ(NewFillPairs(g, VertexSet::Of(5, {0, 1, 2}), VertexSet(5)), 1);
+  // Same omega, but {0,2} inside the parent separator: nothing new.
+  EXPECT_EQ(NewFillPairs(g, VertexSet::Of(5, {0, 1, 2}),
+                         VertexSet::Of(5, {0, 2})),
+            0);
+}
+
+TEST(WidthThenFillTest, EncodesLexicographicOrder) {
+  Graph g = workloads::Cycle(6);
+  WidthThenFillCost cost;
+  // width 2 / fill 3 must beat width 3 / fill 0.
+  double a = 2 * WidthThenFillCost::Multiplier(g) + 3;
+  double b = 3 * WidthThenFillCost::Multiplier(g) + 0;
+  EXPECT_LT(a, b);
+  auto [w, f] = WidthThenFillCost::Decode(g, a);
+  EXPECT_EQ(w, 2);
+  EXPECT_EQ(f, 3);
+}
+
+TEST(WidthThenFillTest, EvaluateDecomposes) {
+  Graph g = workloads::Cycle(4);
+  WidthThenFillCost cost;
+  std::vector<VertexSet> bags = {VertexSet::Of(4, {0, 1, 2}),
+                                 VertexSet::Of(4, {0, 2, 3})};
+  auto [w, f] = WidthThenFillCost::Decode(g, cost.Evaluate(g, bags));
+  EXPECT_EQ(w, 2);
+  EXPECT_EQ(f, 1);
+}
+
+TEST(WeightedWidthTest, VertexWeights) {
+  Graph g = workloads::Path(3);
+  auto cost = WeightedWidthCost::FromVertexWeights({1.0, 10.0, 2.0});
+  std::vector<VertexSet> bags = {VertexSet::Of(3, {0, 1}),
+                                 VertexSet::Of(3, {1, 2})};
+  EXPECT_DOUBLE_EQ(cost->Evaluate(g, bags), 12.0);
+}
+
+TEST(WeightedFillTest, EdgeWeights) {
+  Graph g = workloads::Cycle(4);
+  WeightedFillCost cost([](int u, int v) { return u + v + 1.0; });
+  // chord 0-2 -> weight 3; chord 1-3 -> weight 5.
+  std::vector<VertexSet> bags02 = {VertexSet::Of(4, {0, 1, 2}),
+                                   VertexSet::Of(4, {0, 2, 3})};
+  std::vector<VertexSet> bags13 = {VertexSet::Of(4, {0, 1, 3}),
+                                   VertexSet::Of(4, {1, 2, 3})};
+  EXPECT_DOUBLE_EQ(cost.Evaluate(g, bags02), 3.0);
+  EXPECT_DOUBLE_EQ(cost.Evaluate(g, bags13), 5.0);
+}
+
+TEST(TotalStateSpaceTest, UniformDomains) {
+  Graph g = workloads::Path(3);
+  auto cost = TotalStateSpaceCost::Uniform(3, 2.0);
+  std::vector<VertexSet> bags = {VertexSet::Of(3, {0, 1}),
+                                 VertexSet::Of(3, {1, 2})};
+  EXPECT_DOUBLE_EQ(cost->Evaluate(g, bags), 8.0);  // 4 + 4
+}
+
+TEST(ConstrainedCostTest, ExcludeViolatedWhenSubsetOfBag) {
+  Graph g = testutil::PaperExampleGraph();
+  WidthCost base;
+  VertexSet s2 = VertexSet::Of(6, {0, 1});
+  ConstrainedCost cost(base, {}, {s2});
+  // T2's bags contain {u,v}: violated.
+  std::vector<VertexSet> t2_bags = {
+      VertexSet::Of(6, {0, 1, 3}), VertexSet::Of(6, {0, 1, 4}),
+      VertexSet::Of(6, {0, 1, 5}), VertexSet::Of(6, {1, 2})};
+  EXPECT_EQ(cost.Evaluate(g, t2_bags), kInfiniteCost);
+  // T1's bags don't: fine.
+  std::vector<VertexSet> t1_bags = {VertexSet::Of(6, {0, 3, 4, 5}),
+                                    VertexSet::Of(6, {1, 3, 4, 5}),
+                                    VertexSet::Of(6, {1, 2})};
+  EXPECT_EQ(cost.Evaluate(g, t1_bags), 3);
+}
+
+TEST(ConstrainedCostTest, IncludeRequiresContainingBag) {
+  Graph g = testutil::PaperExampleGraph();
+  WidthCost base;
+  VertexSet s1 = VertexSet::Of(6, {3, 4, 5});
+  ConstrainedCost cost(base, {s1}, {});
+  std::vector<VertexSet> t1_bags = {VertexSet::Of(6, {0, 3, 4, 5}),
+                                    VertexSet::Of(6, {1, 3, 4, 5}),
+                                    VertexSet::Of(6, {1, 2})};
+  std::vector<VertexSet> t2_bags = {
+      VertexSet::Of(6, {0, 1, 3}), VertexSet::Of(6, {0, 1, 4}),
+      VertexSet::Of(6, {0, 1, 5}), VertexSet::Of(6, {1, 2})};
+  EXPECT_EQ(cost.Evaluate(g, t1_bags), 3);
+  EXPECT_EQ(cost.Evaluate(g, t2_bags), kInfiniteCost);
+}
+
+TEST(ConstrainedCostTest, NameReflectsWrapping) {
+  WidthCost base;
+  ConstrainedCost cost(base, {}, {});
+  EXPECT_EQ(cost.Name(), "width[I,X]");
+}
+
+}  // namespace
+}  // namespace mintri

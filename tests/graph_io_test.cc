@@ -1,0 +1,55 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mintri {
+namespace {
+
+TEST(GraphIoTest, ParsesDimacs) {
+  auto g = ParseDimacsString(
+      "c a comment\n"
+      "p tw 4 3\n"
+      "1 2\n"
+      "2 3\n"
+      "3 4\n");
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumVertices(), 4);
+  EXPECT_EQ(g->NumEdges(), 3);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(2, 3));
+}
+
+TEST(GraphIoTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseDimacsString("1 2\n").has_value());       // no header
+  EXPECT_FALSE(ParseDimacsString("p tw 2 1\n1 5\n").has_value());  // range
+  EXPECT_FALSE(ParseDimacsString("p tw x y\n").has_value());
+}
+
+TEST(GraphIoTest, RoundTrips) {
+  Graph g(5);
+  g.AddEdge(0, 4);
+  g.AddEdge(1, 2);
+  std::ostringstream out;
+  WriteDimacs(g, out);
+  auto parsed = ParseDimacsString(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, g);
+}
+
+TEST(GraphIoTest, ParsesEdgeList) {
+  std::istringstream in("3\n0 1\n1 2\n");
+  auto g = ParseEdgeList(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumVertices(), 3);
+  EXPECT_EQ(g->NumEdges(), 2);
+}
+
+TEST(GraphIoTest, EdgeListRejectsOutOfRange) {
+  std::istringstream in("2\n0 3\n");
+  EXPECT_FALSE(ParseEdgeList(in).has_value());
+}
+
+}  // namespace
+}  // namespace mintri

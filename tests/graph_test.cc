@@ -1,0 +1,109 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mintri {
+namespace {
+
+using testutil::MakeGraph;
+
+TEST(GraphTest, AddEdgeIgnoresLoopsAndDuplicates) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(2, 2);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(2, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, NeighborhoodOfSet) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  VertexSet s = VertexSet::Of(5, {1, 2});
+  EXPECT_EQ(g.NeighborhoodOfSet(s), VertexSet::Of(5, {0, 3}));
+  EXPECT_EQ(g.ClosedNeighborhood(2), VertexSet::Of(5, {1, 2, 3}));
+}
+
+TEST(GraphTest, SaturateSetMakesClique) {
+  Graph g(4);
+  VertexSet s = VertexSet::Of(4, {0, 1, 3});
+  EXPECT_FALSE(g.IsClique(s));
+  g.SaturateSet(s);
+  EXPECT_TRUE(g.IsClique(s));
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphTest, IsCliqueOnEmptyAndSingleton) {
+  Graph g(3);
+  EXPECT_TRUE(g.IsClique(VertexSet(3)));
+  EXPECT_TRUE(g.IsClique(VertexSet::Single(3, 1)));
+}
+
+TEST(GraphTest, EdgesSorted) {
+  Graph g = MakeGraph(4, {{2, 3}, {0, 1}, {1, 3}});
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 1));
+  EXPECT_EQ(edges[1], std::make_pair(1, 3));
+  EXPECT_EQ(edges[2], std::make_pair(2, 3));
+}
+
+TEST(GraphTest, InducedSubgraphRelabels) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 3}});
+  std::vector<int> map;
+  Graph sub = g.InducedSubgraph(VertexSet::Of(5, {1, 3, 4}), &map);
+  EXPECT_EQ(sub.NumVertices(), 3);
+  EXPECT_EQ(map[1], 0);
+  EXPECT_EQ(map[3], 1);
+  EXPECT_EQ(map[4], 2);
+  EXPECT_EQ(map[0], -1);
+  EXPECT_TRUE(sub.HasEdge(0, 1));   // 1-3
+  EXPECT_TRUE(sub.HasEdge(1, 2));   // 3-4
+  EXPECT_FALSE(sub.HasEdge(0, 2));  // 1-4 not an edge
+  EXPECT_EQ(sub.NumEdges(), 2);
+}
+
+TEST(GraphTest, ConnectedComponents) {
+  Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {3, 4}});
+  auto comps = g.ConnectedComponents();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], VertexSet::Of(6, {0, 1, 2}));
+  EXPECT_EQ(comps[1], VertexSet::Of(6, {3, 4}));
+  EXPECT_EQ(comps[2], VertexSet::Of(6, {5}));
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_TRUE(MakeGraph(3, {{0, 1}, {1, 2}}).IsConnected());
+}
+
+TEST(GraphTest, ComponentsAfterRemoving) {
+  // Path 0-1-2-3-4; removing {2} leaves {0,1} and {3,4}.
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  auto comps = g.ComponentsAfterRemoving(VertexSet::Of(5, {2}));
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], VertexSet::Of(5, {0, 1}));
+  EXPECT_EQ(comps[1], VertexSet::Of(5, {3, 4}));
+  EXPECT_EQ(g.ComponentOf(4, VertexSet::Of(5, {2})),
+            VertexSet::Of(5, {3, 4}));
+}
+
+TEST(GraphTest, UnionOf) {
+  Graph a = MakeGraph(4, {{0, 1}});
+  Graph b = MakeGraph(4, {{0, 1}, {2, 3}});
+  Graph u = Graph::UnionOf(a, b);
+  EXPECT_EQ(u.NumEdges(), 2);
+  EXPECT_TRUE(u.HasEdge(0, 1));
+  EXPECT_TRUE(u.HasEdge(2, 3));
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(0);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.ConnectedComponents().empty());
+}
+
+}  // namespace
+}  // namespace mintri

@@ -1,0 +1,183 @@
+#include "hypergraph/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/standard_costs.h"
+#include "enumeration/ranked_enum.h"
+#include "hypergraph/edge_cover.h"
+#include "hypergraph/linear_program.h"
+#include "workloads/named_graphs.h"
+
+namespace mintri {
+namespace {
+
+TEST(LinearProgramTest, SolvesTextbookLp) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  36 at (2, 6).
+  LinearProgram lp({{1, 0}, {0, 2}, {3, 2}}, {4, 12, 18}, {3, 5});
+  auto sol = lp.Maximize();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 36.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-9);
+}
+
+TEST(LinearProgramTest, DetectsUnbounded) {
+  // max x with no binding constraint on x.
+  LinearProgram lp({{0.0}}, {1.0}, {1.0});
+  EXPECT_FALSE(lp.Maximize().has_value());
+}
+
+TEST(LinearProgramTest, DegenerateLpTerminates) {
+  // Degenerate constraints that can cycle without Bland's rule.
+  LinearProgram lp({{0.5, -5.5, -2.5, 9}, {0.5, -1.5, -0.5, 1}, {1, 0, 0, 0}},
+                   {0, 0, 1}, {10, -57, -9, -24});
+  auto sol = lp.Maximize();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 1.0, 1e-6);
+}
+
+TEST(LinearProgramTest, ZeroObjective) {
+  LinearProgram lp({{1.0, 1.0}}, {5.0}, {0.0, 0.0});
+  auto sol = lp.Maximize();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 0.0, 1e-9);
+}
+
+TEST(HypergraphTest, PrimalGraphSaturatesEdges) {
+  Hypergraph h(5);
+  h.AddEdge(VertexSet::Of(5, {0, 1, 2}));
+  h.AddEdge(VertexSet::Of(5, {2, 3}));
+  h.AddEdge(VertexSet::Of(5, {3, 4}));
+  Graph primal = h.PrimalGraph();
+  EXPECT_EQ(primal.NumEdges(), 5);  // 01 02 12 23 34
+  EXPECT_TRUE(primal.HasEdge(0, 2));
+  EXPECT_FALSE(primal.HasEdge(0, 3));
+  EXPECT_TRUE(h.CoversAllVertices());
+  EXPECT_EQ(h.EdgesContaining(2), (std::vector<int>{0, 1}));
+}
+
+TEST(EdgeCoverTest, TriangleHypergraph) {
+  // The classic: edges {ab, bc, ca}; covering {a,b,c} integrally needs 2
+  // edges, fractionally 3/2 (x_e = 1/2 each).
+  Hypergraph h(3);
+  h.AddEdge(VertexSet::Of(3, {0, 1}));
+  h.AddEdge(VertexSet::Of(3, {1, 2}));
+  h.AddEdge(VertexSet::Of(3, {2, 0}));
+  VertexSet bag = VertexSet::All(3);
+  EXPECT_EQ(MinIntegralEdgeCover(h, bag), 2);
+  EXPECT_NEAR(MinFractionalEdgeCover(h, bag), 1.5, 1e-9);
+}
+
+TEST(EdgeCoverTest, SingleEdgeCoversItsBag) {
+  Hypergraph h(4);
+  h.AddEdge(VertexSet::Of(4, {0, 1, 2, 3}));
+  EXPECT_EQ(MinIntegralEdgeCover(h, VertexSet::Of(4, {1, 3})), 1);
+  EXPECT_NEAR(MinFractionalEdgeCover(h, VertexSet::Of(4, {1, 3})), 1.0,
+              1e-9);
+  EXPECT_EQ(MinIntegralEdgeCover(h, VertexSet(4)), 0);
+}
+
+TEST(EdgeCoverTest, UncoverableBag) {
+  Hypergraph h(3);
+  h.AddEdge(VertexSet::Of(3, {0, 1}));
+  EXPECT_EQ(MinIntegralEdgeCover(h, VertexSet::Of(3, {2})), -1);
+  EXPECT_EQ(MinFractionalEdgeCover(h, VertexSet::Of(3, {2})), -1.0);
+  EXPECT_FALSE(h.CoversAllVertices());
+}
+
+TEST(EdgeCoverTest, FractionalNeverExceedsIntegral) {
+  // Random hypergraphs: |bag| / max-edge <= fractional <= integral.
+  for (int seed = 0; seed < 10; ++seed) {
+    Hypergraph h(8);
+    uint64_t state = 12345 + seed;
+    auto next = [&state]() {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return (state >> 33);
+    };
+    for (int e = 0; e < 6; ++e) {
+      VertexSet edge(8);
+      for (int v = 0; v < 8; ++v) {
+        if (next() % 3 == 0) edge.Insert(v);
+      }
+      if (!edge.Empty()) h.AddEdge(std::move(edge));
+    }
+    for (int trial = 0; trial < 5; ++trial) {
+      VertexSet bag(8);
+      for (int v = 0; v < 8; ++v) {
+        if (next() % 2 == 0) bag.Insert(v);
+      }
+      int integral = MinIntegralEdgeCover(h, bag);
+      double fractional = MinFractionalEdgeCover(h, bag);
+      if (integral < 0) {
+        EXPECT_EQ(fractional, -1.0);
+        continue;
+      }
+      EXPECT_LE(fractional, integral + 1e-9);
+      EXPECT_GE(fractional, bag.Count() > 0 ? 1.0 - 1e-9 : 0.0);
+    }
+  }
+}
+
+TEST(HypertreeCostTest, CyclicQueryRankedByHypertreeWidth) {
+  // The triangle query R(a,b) ⋈ S(b,c) ⋈ T(c,a): its primal graph is K3
+  // (chordal), single decomposition with one bag {a,b,c}: ghw 2, fhw 1.5.
+  Hypergraph h(3);
+  h.AddEdge(VertexSet::Of(3, {0, 1}));
+  h.AddEdge(VertexSet::Of(3, {1, 2}));
+  h.AddEdge(VertexSet::Of(3, {2, 0}));
+  Graph primal = h.PrimalGraph();
+  auto ctx = TriangulationContext::Build(primal);
+  ASSERT_TRUE(ctx.has_value());
+
+  auto ghw = HypertreeWidthCost(h);
+  auto fhw = FractionalHypertreeWidthCost(h);
+  RankedTriangulationEnumerator e1(*ctx, *ghw);
+  auto t1 = e1.Next();
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(t1->cost, 2.0);
+  RankedTriangulationEnumerator e2(*ctx, *fhw);
+  auto t2 = e2.Next();
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_NEAR(t2->cost, 1.5, 1e-9);
+}
+
+TEST(HypertreeCostTest, AcyclicQueryHasWidthOne) {
+  // Path query R(a,b) ⋈ S(b,c) ⋈ T(c,d): alpha-acyclic, ghw = fhw = 1.
+  Hypergraph h(4);
+  h.AddEdge(VertexSet::Of(4, {0, 1}));
+  h.AddEdge(VertexSet::Of(4, {1, 2}));
+  h.AddEdge(VertexSet::Of(4, {2, 3}));
+  Graph primal = h.PrimalGraph();
+  auto ctx = TriangulationContext::Build(primal);
+  ASSERT_TRUE(ctx.has_value());
+  auto ghw = HypertreeWidthCost(h);
+  RankedTriangulationEnumerator e(*ctx, *ghw);
+  auto t = e.Next();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->cost, 1.0);
+}
+
+TEST(HypertreeCostTest, RankedOrderIsNonDecreasing) {
+  // A 5-cycle of binary relations; enumerate all decompositions by fhw.
+  Hypergraph h(5);
+  for (int i = 0; i < 5; ++i) {
+    h.AddEdge(VertexSet::Of(5, {i, (i + 1) % 5}));
+  }
+  Graph primal = h.PrimalGraph();
+  auto ctx = TriangulationContext::Build(primal);
+  ASSERT_TRUE(ctx.has_value());
+  auto fhw = FractionalHypertreeWidthCost(h);
+  RankedTriangulationEnumerator e(*ctx, *fhw);
+  double last = 0;
+  int count = 0;
+  while (auto t = e.Next()) {
+    EXPECT_GE(t->cost, last - 1e-9);
+    EXPECT_NEAR(t->cost, fhw->Evaluate(primal, t->bags), 1e-9);
+    last = t->cost;
+    ++count;
+  }
+  EXPECT_GT(count, 1);
+}
+
+}  // namespace
+}  // namespace mintri

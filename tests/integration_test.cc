@@ -1,0 +1,148 @@
+// End-to-end tests across modules: RankedTriang vs CKK result-set equality,
+// TPC-H query decomposition, and the paper's Example 2.1/2.3 walked through
+// the whole public API.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chordal/minimality.h"
+#include "cost/standard_costs.h"
+#include "enumeration/ckk.h"
+#include "enumeration/ranked_enum.h"
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+#include "workloads/tpch_queries.h"
+
+namespace mintri {
+namespace {
+
+std::set<testutil::FillSet> RankedFills(const Graph& g, const BagCost& cost,
+                                        size_t cap = 100000) {
+  auto ctx = TriangulationContext::Build(g);
+  EXPECT_TRUE(ctx.has_value());
+  RankedTriangulationEnumerator e(*ctx, cost);
+  std::set<testutil::FillSet> fills;
+  while (fills.size() < cap) {
+    auto t = e.Next();
+    if (!t.has_value()) break;
+    fills.insert(t->FillEdgesSorted(g));
+  }
+  return fills;
+}
+
+std::set<testutil::FillSet> CkkFills(const Graph& g, size_t cap = 100000) {
+  CkkEnumerator e(g);
+  std::set<testutil::FillSet> fills;
+  while (fills.size() < cap) {
+    auto t = e.Next();
+    if (!t.has_value()) break;
+    fills.insert(t->FillEdgesSorted(g));
+  }
+  return fills;
+}
+
+class CrossValidationTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrossValidationTest, RankedTriangAndCkkAgreeOnTheFullSet) {
+  auto [n, seed] = GetParam();
+  double p = 0.25 + 0.05 * (seed % 5);
+  Graph g = workloads::ConnectedErdosRenyi(n, p, 50000 + seed);
+  WidthCost width;
+  auto ranked = RankedFills(g, width);
+  auto ckk = CkkFills(g);
+  EXPECT_EQ(ranked, ckk) << "n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CrossValidationTest,
+    ::testing::Combine(::testing::Values(6, 7, 8, 9),
+                       ::testing::Range(0, 6)));
+
+TEST(IntegrationTest, NamedGraphsCrossValidate) {
+  WidthCost width;
+  for (const Graph& g :
+       {workloads::Cycle(7), workloads::Grid(3, 3),
+        workloads::CompleteBipartite(2, 4), testutil::PaperExampleGraph()}) {
+    EXPECT_EQ(RankedFills(g, width), CkkFills(g));
+  }
+}
+
+TEST(IntegrationTest, TpchQueriesEnumerateFullyAndFast) {
+  // The paper: "In the case of TPC-H graphs, computing all minimal
+  // triangulations is a matter of a few seconds" — here, milliseconds.
+  WidthCost width;
+  for (const auto& q : workloads::AllTpchQueries()) {
+    if (!q.graph.IsConnected()) continue;  // cross joins: handled per
+                                           // component by the applications
+    auto ctx = TriangulationContext::Build(q.graph);
+    ASSERT_TRUE(ctx.has_value()) << "Q" << q.number;
+    RankedTriangulationEnumerator e(*ctx, width);
+    int count = 0;
+    CostValue last = -kInfiniteCost;
+    while (auto t = e.Next()) {
+      EXPECT_TRUE(IsMinimalTriangulation(q.graph, t->filled));
+      EXPECT_LE(last, t->cost);
+      last = t->cost;
+      ++count;
+      ASSERT_LT(count, 10000);
+    }
+    EXPECT_GE(count, 1) << "Q" << q.number;
+  }
+}
+
+TEST(IntegrationTest, PaperWalkthrough) {
+  // Example 2.1/2.3/2.4/5.2 as one scenario.
+  Graph g = testutil::PaperExampleGraph();
+  auto ctx = TriangulationContext::Build(g);
+  ASSERT_TRUE(ctx.has_value());
+
+  // Three minimal separators (Example 2.4), six PMCs (Example 5.2 lists two
+  // of them), two minimal triangulations (Figure 1(b)).
+  EXPECT_EQ(ctx->minimal_separators().size(), 3u);
+  EXPECT_EQ(ctx->pmcs().size(), 6u);
+
+  WidthThenFillCost lex;
+  RankedTriangulationEnumerator e(*ctx, lex);
+  auto h2 = e.Next();  // width 2, fill 1 — the H2 of Figure 1(b)
+  ASSERT_TRUE(h2.has_value());
+  EXPECT_EQ(h2->Width(), 2);
+  EXPECT_EQ(h2->FillIn(g), 1);
+  EXPECT_TRUE(h2->filled.HasEdge(0, 1));  // the uv fill edge
+
+  auto h1 = e.Next();  // width 3, fill 3 — H1
+  ASSERT_TRUE(h1.has_value());
+  EXPECT_EQ(h1->Width(), 3);
+  EXPECT_EQ(h1->FillIn(g), 3);
+
+  EXPECT_FALSE(e.Next().has_value());
+}
+
+TEST(IntegrationTest, RankedPrefixIsAlwaysAMinCostPrefix) {
+  // Stopping RankedTriang after k results must give the k cheapest
+  // triangulations (the whole point of ranked enumeration): cross-check
+  // against the sorted brute-force cost list.
+  Graph g = workloads::ConnectedErdosRenyi(8, 0.3, 60606);
+  FillInCost fill;
+  auto ctx = TriangulationContext::Build(g);
+  ASSERT_TRUE(ctx.has_value());
+
+  std::vector<double> brute_costs;
+  for (const auto& fs : testutil::BruteForceMinimalTriangulationFills(g)) {
+    brute_costs.push_back(static_cast<double>(fs.size()));
+  }
+  std::sort(brute_costs.begin(), brute_costs.end());
+
+  RankedTriangulationEnumerator e(*ctx, fill);
+  for (size_t k = 0; k < brute_costs.size(); ++k) {
+    auto t = e.Next();
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->cost, brute_costs[k]) << "position " << k;
+  }
+  EXPECT_FALSE(e.Next().has_value());
+}
+
+}  // namespace
+}  // namespace mintri

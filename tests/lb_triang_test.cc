@@ -1,0 +1,94 @@
+#include "chordal/lb_triang.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "chordal/chordality.h"
+#include "chordal/minimality.h"
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+TEST(LbTriangTest, ChordalInputIsUnchanged) {
+  Graph g = workloads::Complete(4);
+  EXPECT_EQ(LbTriangMinDegree(g), g);
+  Graph p = workloads::Path(6);
+  EXPECT_EQ(LbTriangMinDegree(p), p);
+}
+
+TEST(LbTriangTest, CycleGetsMinimallyTriangulated) {
+  Graph g = workloads::Cycle(6);
+  Graph h = LbTriangMinDegree(g);
+  EXPECT_TRUE(IsMinimalTriangulation(g, h));
+  // A minimal triangulation of C_n adds exactly n-3 chords.
+  EXPECT_EQ(h.NumEdges() - g.NumEdges(), 3);
+}
+
+TEST(LbTriangTest, PaperExample) {
+  Graph g = testutil::PaperExampleGraph();
+  Graph h = LbTriangMinDegree(g);
+  EXPECT_TRUE(IsMinimalTriangulation(g, h));
+}
+
+class LbTriangPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LbTriangPropertyTest, AlwaysProducesMinimalTriangulation) {
+  auto [n, seed] = GetParam();
+  double p = 0.15 + 0.06 * (seed % 10);
+  Graph g = workloads::ConnectedErdosRenyi(n, p, seed);
+  // Identity order.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Graph h1 = LbTriang(g, order);
+  EXPECT_TRUE(IsMinimalTriangulation(g, h1)) << "identity order, seed "
+                                             << seed;
+  // Reversed order: LB-Triang guarantees minimality for ANY order.
+  std::reverse(order.begin(), order.end());
+  Graph h2 = LbTriang(g, order);
+  EXPECT_TRUE(IsMinimalTriangulation(g, h2)) << "reverse order, seed "
+                                             << seed;
+  Graph h3 = LbTriangMinDegree(g);
+  EXPECT_TRUE(IsMinimalTriangulation(g, h3)) << "min-degree, seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, LbTriangPropertyTest,
+    ::testing::Combine(::testing::Values(6, 8, 10, 12),
+                       ::testing::Range(0, 8)));
+
+TEST(LbTriangTest, GridTriangulationsAreMinimal) {
+  for (int r = 2; r <= 4; ++r) {
+    for (int c = 2; c <= 4; ++c) {
+      Graph g = workloads::Grid(r, c);
+      EXPECT_TRUE(IsMinimalTriangulation(g, LbTriangMinDegree(g)))
+          << r << "x" << c;
+    }
+  }
+}
+
+TEST(MinimalityTest, DetectsNonMinimalTriangulation) {
+  // C4 saturated entirely (K4) is a triangulation but not minimal.
+  Graph g = workloads::Cycle(4);
+  Graph h = workloads::Complete(4);
+  EXPECT_TRUE(IsTriangulationOf(g, h));
+  EXPECT_FALSE(IsMinimalTriangulation(g, h));
+  // One chord is minimal.
+  Graph h2 = g;
+  h2.AddEdge(0, 2);
+  EXPECT_TRUE(IsMinimalTriangulation(g, h2));
+}
+
+TEST(MinimalityTest, RejectsNonSupergraphAndNonChordal) {
+  Graph g = workloads::Cycle(4);
+  EXPECT_FALSE(IsTriangulationOf(g, workloads::Path(4)));  // missing edge
+  EXPECT_FALSE(IsTriangulationOf(g, g));                    // not chordal
+  EXPECT_EQ(FillEdges(g, workloads::Complete(4)).size(), 2u);
+}
+
+}  // namespace
+}  // namespace mintri

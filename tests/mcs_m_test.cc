@@ -1,0 +1,69 @@
+#include "chordal/mcs_m.h"
+
+#include <gtest/gtest.h>
+
+#include "chordal/minimality.h"
+#include "enumeration/ckk.h"
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+TEST(McsMTest, ChordalInputUnchanged) {
+  Graph g = workloads::Path(6);
+  EXPECT_EQ(McsM(g), g);
+  Graph k = workloads::Complete(5);
+  EXPECT_EQ(McsM(k), k);
+}
+
+TEST(McsMTest, CycleMinimallyTriangulated) {
+  Graph g = workloads::Cycle(7);
+  Graph h = McsM(g);
+  EXPECT_TRUE(IsMinimalTriangulation(g, h));
+  EXPECT_EQ(h.NumEdges() - g.NumEdges(), 4);  // n - 3 chords
+}
+
+class McsMPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(McsMPropertyTest, ProducesMinimalTriangulations) {
+  auto [n, seed] = GetParam();
+  double p = 0.15 + 0.07 * (seed % 8);
+  Graph g = workloads::ConnectedErdosRenyi(n, p, 70000 + seed);
+  EXPECT_TRUE(IsMinimalTriangulation(g, McsM(g)))
+      << "n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, McsMPropertyTest,
+    ::testing::Combine(::testing::Values(6, 8, 10, 12),
+                       ::testing::Range(0, 8)));
+
+TEST(McsMTest, GridAndNamedGraphs) {
+  for (const Graph& g : {workloads::Grid(3, 4), workloads::Petersen(),
+                         workloads::Mycielski(4),
+                         testutil::PaperExampleGraph()}) {
+    EXPECT_TRUE(IsMinimalTriangulation(g, McsM(g)));
+  }
+}
+
+TEST(McsMTest, CkkWithMcsMBlackBoxIsStillComplete) {
+  // The CKK baseline parameterized by MCS-M instead of LB-Triang must
+  // enumerate the same complete set.
+  for (int seed = 0; seed < 6; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(7, 0.3, 71000 + seed);
+    CkkEnumerator e(g, nullptr, [](const Graph& input) { return McsM(input); });
+    std::set<testutil::FillSet> produced;
+    while (auto t = e.Next()) {
+      EXPECT_TRUE(IsMinimalTriangulation(g, t->filled));
+      EXPECT_TRUE(produced.insert(t->FillEdgesSorted(g)).second);
+    }
+    EXPECT_EQ(produced, testutil::BruteForceMinimalTriangulationFills(g))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mintri

@@ -1,0 +1,172 @@
+#include "pmc/potential_maximal_cliques.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+using testutil::MakeGraph;
+
+std::vector<VertexSet> EnumeratePmcs(const Graph& g,
+                                     bool exhaustive_pairs = false) {
+  auto seps = ListMinimalSeparators(g).separators;
+  PmcOptions options;
+  options.exhaustive_pairs = exhaustive_pairs;
+  PmcResult r = ListPotentialMaximalCliques(g, seps, options);
+  EXPECT_EQ(r.status, EnumerationStatus::kComplete);
+  return r.pmcs;
+}
+
+TEST(IsPmcTest, PaperExamplePmcs) {
+  Graph g = testutil::PaperExampleGraph();
+  // 0=u, 1=v, 2=v', 3=w1, 4=w2, 5=w3. Example 5.2 names {u,w1,w2,w3} and
+  // {w1,u,v}; the full PMC set is the bags of T1 and T2 of Figure 1(c).
+  EXPECT_TRUE(IsPmc(g, VertexSet::Of(6, {0, 3, 4, 5})));
+  EXPECT_TRUE(IsPmc(g, VertexSet::Of(6, {1, 3, 4, 5})));
+  EXPECT_TRUE(IsPmc(g, VertexSet::Of(6, {0, 1, 3})));
+  EXPECT_TRUE(IsPmc(g, VertexSet::Of(6, {0, 1, 4})));
+  EXPECT_TRUE(IsPmc(g, VertexSet::Of(6, {0, 1, 5})));
+  EXPECT_TRUE(IsPmc(g, VertexSet::Of(6, {1, 2})));
+  // Non-PMCs.
+  EXPECT_FALSE(IsPmc(g, VertexSet::Of(6, {0, 1})));     // minimal separator
+  EXPECT_FALSE(IsPmc(g, VertexSet::Of(6, {3, 4, 5})));  // minimal separator
+  EXPECT_FALSE(IsPmc(g, VertexSet::Of(6, {2})));        // inside a bag
+  EXPECT_FALSE(IsPmc(g, VertexSet(6)));                 // empty
+}
+
+TEST(IsPmcTest, CliqueOfCompleteGraph) {
+  Graph g = workloads::Complete(4);
+  EXPECT_TRUE(IsPmc(g, g.Vertices()));
+  EXPECT_FALSE(IsPmc(g, VertexSet::Of(4, {0, 1})));
+}
+
+TEST(PmcEnumerationTest, PaperExampleHasSixPmcs) {
+  Graph g = testutil::PaperExampleGraph();
+  auto pmcs = EnumeratePmcs(g);
+  EXPECT_EQ(pmcs.size(), 6u);
+}
+
+TEST(PmcEnumerationTest, ChordalGraphPmcsAreItsMaximalCliques) {
+  // A chordal graph is its own unique minimal triangulation, so its PMCs
+  // are exactly its maximal cliques.
+  Graph g = workloads::Path(5);
+  auto pmcs = EnumeratePmcs(g);
+  EXPECT_EQ(pmcs.size(), 4u);
+  for (const VertexSet& p : pmcs) EXPECT_EQ(p.Count(), 2);
+}
+
+TEST(PmcEnumerationTest, CycleN) {
+  // C_n has n(n-3)/2 + n ... the PMCs are the triangle-candidates {i, j, k}
+  // that appear in some minimal triangulation; for C4: {0,1,2},{0,2,3},
+  // {0,1,3},{1,2,3} — 4 PMCs.
+  auto pmcs = EnumeratePmcs(workloads::Cycle(4));
+  EXPECT_EQ(pmcs.size(), 4u);
+  for (const VertexSet& p : pmcs) EXPECT_EQ(p.Count(), 3);
+}
+
+// The crucial completeness check: incremental BT02 enumeration vs the
+// brute-force reference on many random graphs, across the density spectrum.
+class PmcVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PmcVsBruteForce, IncrementalMatchesBruteForce) {
+  auto [n, seed] = GetParam();
+  double p = 0.15 + 0.07 * (seed % 10);
+  Graph g = workloads::ConnectedErdosRenyi(n, p, 4000 + seed);
+  auto fast = EnumeratePmcs(g);
+  auto brute = PmcsBruteForce(g);
+  EXPECT_EQ(fast, brute) << "n=" << n << " seed=" << seed << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, PmcVsBruteForce,
+    ::testing::Combine(::testing::Values(5, 6, 7, 8, 9, 10),
+                       ::testing::Range(0, 10)));
+
+TEST(PmcEnumerationTest, NamedGraphsMatchBruteForce) {
+  std::vector<Graph> graphs = {
+      workloads::Petersen(),      workloads::Grid(3, 3),
+      workloads::Cycle(7),        workloads::CompleteBipartite(3, 4),
+      workloads::Hypercube(3),    workloads::Mycielski(4),
+      testutil::PaperExampleGraph()};
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_EQ(EnumeratePmcs(graphs[i]), PmcsBruteForce(graphs[i]))
+        << "graph #" << i;
+  }
+}
+
+TEST(PmcEnumerationTest, ExhaustivePairsModeAgrees) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(8, 0.3, 5000 + seed);
+    EXPECT_EQ(EnumeratePmcs(g, /*exhaustive_pairs=*/false),
+              EnumeratePmcs(g, /*exhaustive_pairs=*/true))
+        << "seed " << seed;
+  }
+}
+
+TEST(PmcEnumerationTest, BoundedSizeMatchesFilteredBruteForce) {
+  for (int seed = 0; seed < 8; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(8, 0.35, 6000 + seed);
+    auto seps = ListMinimalSeparators(g).separators;
+    for (int bound = 2; bound <= 4; ++bound) {
+      PmcOptions options;
+      options.max_size = bound;
+      PmcResult r = ListPotentialMaximalCliques(g, seps, options);
+      ASSERT_EQ(r.status, EnumerationStatus::kComplete);
+      std::vector<VertexSet> expected;
+      for (const VertexSet& p : PmcsBruteForce(g)) {
+        if (p.Count() <= bound) expected.push_back(p);
+      }
+      // Bounded enumeration must be sound (every result is a PMC of size
+      // <= bound) ...
+      for (const VertexSet& p : r.pmcs) {
+        EXPECT_TRUE(IsPmc(g, p));
+        EXPECT_LE(p.Count(), bound);
+      }
+      // ... and complete for the bounded regime.
+      EXPECT_EQ(r.pmcs, expected) << "seed=" << seed << " bound=" << bound;
+    }
+  }
+}
+
+TEST(PmcEnumerationTest, EveryMinimalSeparatorIsCoveredBySomePmc) {
+  // Structural invariant: each minimal separator S is a proper subset of at
+  // least one PMC (it is saturated in some minimal triangulation, and lies
+  // inside a maximal clique there).
+  for (int seed = 0; seed < 8; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(9, 0.3, 7000 + seed);
+    auto seps = ListMinimalSeparators(g).separators;
+    auto pmcs = EnumeratePmcs(g);
+    for (const VertexSet& s : seps) {
+      bool covered = false;
+      for (const VertexSet& p : pmcs) {
+        if (s.IsSubsetOf(p) && !(s == p)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "separator " << s.ToString();
+    }
+  }
+}
+
+TEST(PmcEnumerationTest, SingleVertexAndSingleEdge) {
+  Graph g1(1);
+  auto pmcs1 = EnumeratePmcs(g1);
+  ASSERT_EQ(pmcs1.size(), 1u);
+  EXPECT_EQ(pmcs1[0], VertexSet::Single(1, 0));
+
+  Graph g2 = MakeGraph(2, {{0, 1}});
+  auto pmcs2 = EnumeratePmcs(g2);
+  ASSERT_EQ(pmcs2.size(), 1u);
+  EXPECT_EQ(pmcs2[0], VertexSet::All(2));
+}
+
+}  // namespace
+}  // namespace mintri

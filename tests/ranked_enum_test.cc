@@ -1,0 +1,167 @@
+#include "enumeration/ranked_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "chordal/minimality.h"
+#include "cost/standard_costs.h"
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+TriangulationContext BuildCtx(const Graph& g) {
+  auto ctx = TriangulationContext::Build(g);
+  EXPECT_TRUE(ctx.has_value());
+  return std::move(*ctx);
+}
+
+std::vector<Triangulation> Drain(RankedTriangulationEnumerator& e,
+                                 size_t cap = 100000) {
+  std::vector<Triangulation> out;
+  while (out.size() < cap) {
+    auto t = e.Next();
+    if (!t.has_value()) break;
+    out.push_back(std::move(*t));
+  }
+  return out;
+}
+
+TEST(RankedEnumTest, PaperExampleEnumeratesBothTriangulations) {
+  Graph g = testutil::PaperExampleGraph();
+  TriangulationContext ctx = BuildCtx(g);
+  WidthCost width;
+  RankedTriangulationEnumerator e(ctx, width);
+  auto all = Drain(e);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].Width(), 2);  // H2 first (width 2)
+  EXPECT_EQ(all[1].Width(), 3);  // then H1 (width 3)
+  for (const auto& t : all) {
+    EXPECT_TRUE(IsMinimalTriangulation(g, t.filled));
+  }
+}
+
+TEST(RankedEnumTest, FourCycleHasTwoTriangulations) {
+  // Regression for the Figure 4 off-by-one: with the loop running to k-1
+  // only, C4's second triangulation would never be generated (k = 1 at the
+  // first pop).
+  Graph g = workloads::Cycle(4);
+  TriangulationContext ctx = BuildCtx(g);
+  FillInCost fill;
+  RankedTriangulationEnumerator e(ctx, fill);
+  auto all = Drain(e);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].FillIn(g), 1);
+  EXPECT_EQ(all[1].FillIn(g), 1);
+  EXPECT_NE(all[0].FillEdgesSorted(g), all[1].FillEdgesSorted(g));
+}
+
+class RankedEnumPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RankedEnumPropertyTest, CompleteDuplicateFreeAndSorted) {
+  auto [n, seed] = GetParam();
+  double p = 0.2 + 0.07 * (seed % 6);
+  Graph g = workloads::ConnectedErdosRenyi(n, p, 20000 + seed);
+  TriangulationContext ctx = BuildCtx(g);
+
+  for (int which_cost = 0; which_cost < 2; ++which_cost) {
+    WidthCost width;
+    FillInCost fill;
+    const BagCost& cost =
+        which_cost == 0 ? static_cast<const BagCost&>(width)
+                        : static_cast<const BagCost&>(fill);
+    RankedTriangulationEnumerator e(ctx, cost);
+    auto all = Drain(e);
+
+    // Sorted by cost.
+    for (size_t i = 1; i < all.size(); ++i) {
+      EXPECT_LE(all[i - 1].cost, all[i].cost) << cost.Name();
+    }
+    // Each result is a minimal triangulation with a consistent cost.
+    std::set<testutil::FillSet> produced;
+    for (const auto& t : all) {
+      EXPECT_TRUE(IsMinimalTriangulation(g, t.filled)) << cost.Name();
+      EXPECT_EQ(t.cost, cost.Evaluate(g, t.bags)) << cost.Name();
+      EXPECT_TRUE(produced.insert(t.FillEdgesSorted(g)).second)
+          << "duplicate result under " << cost.Name();
+    }
+    // The result set is exactly the Parra–Scheffler brute-force set.
+    EXPECT_EQ(produced, testutil::BruteForceMinimalTriangulationFills(g))
+        << "n=" << n << " seed=" << seed << " cost=" << cost.Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, RankedEnumPropertyTest,
+    ::testing::Combine(::testing::Values(5, 6, 7, 8),
+                       ::testing::Range(0, 8)));
+
+TEST(RankedEnumTest, SeparatorSetsAreMaximalParallel) {
+  // Theorem 2.5: MinSep(H) of every output is a maximal pairwise-parallel
+  // set, and saturating it reproduces H.
+  Graph g = workloads::Grid(3, 3);
+  TriangulationContext ctx = BuildCtx(g);
+  WidthCost width;
+  RankedTriangulationEnumerator e(ctx, width);
+  int checked = 0;
+  while (checked < 25) {
+    auto t = e.Next();
+    if (!t.has_value()) break;
+    EXPECT_TRUE(IsMaximalPairwiseParallel(g, t->separators,
+                                          ctx.minimal_separators()));
+    Graph h = g;
+    for (const VertexSet& s : t->separators) h.SaturateSet(s);
+    EXPECT_EQ(h, t->filled);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(RankedEnumTest, ChordalGraphYieldsExactlyItself) {
+  Graph g = workloads::Path(5);
+  TriangulationContext ctx = BuildCtx(g);
+  FillInCost fill;
+  RankedTriangulationEnumerator e(ctx, fill);
+  auto all = Drain(e);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].filled, g);
+}
+
+TEST(RankedEnumTest, TreeDecompositionsAreProper) {
+  Graph g = testutil::PaperExampleGraph();
+  TriangulationContext ctx = BuildCtx(g);
+  WidthCost width;
+  RankedTreeDecompositionEnumerator e(ctx, width);
+  int count = 0;
+  CostValue last = -kInfiniteCost;
+  while (auto r = e.Next()) {
+    EXPECT_TRUE(r->decomposition.IsProperFor(g));
+    EXPECT_LE(last, r->cost);
+    last = r->cost;
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(RankedEnumTest, OptimizerCallCountGrowsLinearly) {
+  // Lawler–Murty invariant: at most |MinSep(H)|+1 optimizer calls per
+  // result (polynomial delay bookkeeping for the harness).
+  Graph g = workloads::Cycle(6);
+  TriangulationContext ctx = BuildCtx(g);
+  WidthCost width;
+  RankedTriangulationEnumerator e(ctx, width);
+  auto all = Drain(e);
+  EXPECT_GT(all.size(), 1u);
+  long long bound = 1;
+  for (const auto& t : all) {
+    bound += static_cast<long long>(t.separators.size());
+  }
+  EXPECT_LE(e.num_optimizer_calls(), bound);
+}
+
+}  // namespace
+}  // namespace mintri

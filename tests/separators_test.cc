@@ -1,0 +1,161 @@
+#include "separators/minimal_separators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "separators/crossing.h"
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+using testutil::MakeGraph;
+
+std::vector<VertexSet> Sorted(std::vector<VertexSet> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(MinimalSeparatorsTest, PaperExampleHasExactlyThree) {
+  Graph g = testutil::PaperExampleGraph();
+  auto result = ListMinimalSeparators(g);
+  EXPECT_EQ(result.status, EnumerationStatus::kComplete);
+  auto seps = Sorted(result.separators);
+  // S1 = {w1,w2,w3} = {3,4,5}, S2 = {u,v} = {0,1}, S3 = {v} = {1}.
+  ASSERT_EQ(seps.size(), 3u);
+  std::vector<VertexSet> expected = Sorted({VertexSet::Of(6, {3, 4, 5}),
+                                            VertexSet::Of(6, {0, 1}),
+                                            VertexSet::Of(6, {1})});
+  EXPECT_EQ(seps, expected);
+}
+
+TEST(MinimalSeparatorsTest, IsMinimalSeparatorBasics) {
+  Graph g = workloads::Path(5);
+  EXPECT_TRUE(IsMinimalSeparator(g, VertexSet::Of(5, {2})));
+  EXPECT_FALSE(IsMinimalSeparator(g, VertexSet::Of(5, {0})));
+  EXPECT_FALSE(IsMinimalSeparator(g, VertexSet::Of(5, {1, 2})));  // not min
+  EXPECT_FALSE(IsMinimalSeparator(g, VertexSet(5)));              // empty
+  EXPECT_FALSE(IsMinimalSeparator(workloads::Complete(4),
+                                  VertexSet::Of(4, {0, 1})));
+}
+
+TEST(MinimalSeparatorsTest, SeparatorCanContainAnother) {
+  // The paper's Example 2.4: S3 = {v} ⊊ S2 = {u,v} are both minimal.
+  Graph g = testutil::PaperExampleGraph();
+  EXPECT_TRUE(IsMinimalSeparator(g, VertexSet::Of(6, {1})));
+  EXPECT_TRUE(IsMinimalSeparator(g, VertexSet::Of(6, {0, 1})));
+}
+
+TEST(MinimalSeparatorsTest, CompleteGraphHasNone) {
+  auto result = ListMinimalSeparators(workloads::Complete(5));
+  EXPECT_TRUE(result.separators.empty());
+  EXPECT_EQ(result.status, EnumerationStatus::kComplete);
+}
+
+TEST(MinimalSeparatorsTest, CycleHasAllNonAdjacentPairs) {
+  // C_n: minimal separators are exactly the n(n-3)/2 pairs of non-adjacent
+  // vertices.
+  for (int n = 4; n <= 8; ++n) {
+    auto result = ListMinimalSeparators(workloads::Cycle(n));
+    EXPECT_EQ(result.separators.size(),
+              static_cast<size_t>(n * (n - 3) / 2))
+        << "C" << n;
+  }
+}
+
+class SeparatorsVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SeparatorsVsBruteForce, BerryBordatCogisIsComplete) {
+  auto [n, seed] = GetParam();
+  double p = 0.2 + 0.05 * (seed % 8);
+  Graph g = workloads::ConnectedErdosRenyi(n, p, 1000 + seed);
+  auto fast = Sorted(ListMinimalSeparators(g).separators);
+  auto brute = Sorted(MinimalSeparatorsBruteForce(g));
+  EXPECT_EQ(fast, brute) << "n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, SeparatorsVsBruteForce,
+    ::testing::Combine(::testing::Values(5, 6, 7, 8, 9),
+                       ::testing::Range(0, 8)));
+
+TEST(MinimalSeparatorsTest, BoundedEnumerationMatchesFilteredBruteForce) {
+  for (int seed = 0; seed < 12; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(9, 0.3, 2000 + seed);
+    for (int bound = 1; bound <= 4; ++bound) {
+      auto bounded = Sorted(ListMinimalSeparatorsBounded(g, bound).separators);
+      std::vector<VertexSet> expected;
+      for (const VertexSet& s : MinimalSeparatorsBruteForce(g)) {
+        if (s.Count() <= bound) expected.push_back(s);
+      }
+      expected = Sorted(std::move(expected));
+      EXPECT_EQ(bounded, expected) << "seed=" << seed << " bound=" << bound;
+    }
+  }
+}
+
+TEST(MinimalSeparatorsTest, MaxResultsLimitTruncates) {
+  EnumerationLimits limits;
+  limits.max_results = 3;
+  auto result = ListMinimalSeparators(workloads::Cycle(8), limits);
+  EXPECT_EQ(result.status, EnumerationStatus::kTruncated);
+  EXPECT_LE(result.separators.size(), 3u);
+}
+
+TEST(CrossingTest, PaperExampleCrossings) {
+  Graph g = testutil::PaperExampleGraph();
+  VertexSet s1 = VertexSet::Of(6, {3, 4, 5});  // {w1,w2,w3}
+  VertexSet s2 = VertexSet::Of(6, {0, 1});     // {u,v}
+  VertexSet s3 = VertexSet::Of(6, {1});        // {v}
+  EXPECT_TRUE(AreCrossing(g, s1, s2));
+  EXPECT_TRUE(AreCrossing(g, s2, s1));  // symmetry
+  EXPECT_TRUE(AreParallel(g, s1, s3));
+  EXPECT_TRUE(AreParallel(g, s2, s3));
+  EXPECT_TRUE(AreParallel(g, s3, s3));
+}
+
+TEST(CrossingTest, CrossingIsSymmetricOnRandomGraphs) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(8, 0.3, 3000 + seed);
+    auto seps = ListMinimalSeparators(g).separators;
+    for (size_t i = 0; i < seps.size(); ++i) {
+      for (size_t j = i + 1; j < seps.size(); ++j) {
+        EXPECT_EQ(AreParallel(g, seps[i], seps[j]),
+                  AreParallel(g, seps[j], seps[i]))
+            << seps[i].ToString() << " vs " << seps[j].ToString();
+      }
+    }
+  }
+}
+
+TEST(CrossingTest, MaximalParallelSetsIdentifyTriangulations) {
+  // Parra–Scheffler round trip on the paper example: both maximal parallel
+  // sets saturate to minimal triangulations.
+  Graph g = testutil::PaperExampleGraph();
+  auto sets = testutil::AllMaximalParallelSets(g);
+  ASSERT_EQ(sets.size(), 2u);
+  for (const auto& m : sets) {
+    Graph h = g;
+    for (const VertexSet& s : m) h.SaturateSet(s);
+    EXPECT_TRUE(IsMinimalTriangulation(g, h));
+  }
+}
+
+TEST(CrossingTest, IsMaximalPairwiseParallel) {
+  Graph g = testutil::PaperExampleGraph();
+  auto universe = ListMinimalSeparators(g).separators;
+  VertexSet s1 = VertexSet::Of(6, {3, 4, 5});
+  VertexSet s2 = VertexSet::Of(6, {0, 1});
+  VertexSet s3 = VertexSet::Of(6, {1});
+  EXPECT_TRUE(IsMaximalPairwiseParallel(g, {s1, s3}, universe));
+  EXPECT_TRUE(IsMaximalPairwiseParallel(g, {s2, s3}, universe));
+  EXPECT_FALSE(IsMaximalPairwiseParallel(g, {s3}, universe));       // not max
+  EXPECT_FALSE(IsMaximalPairwiseParallel(g, {s1, s2}, universe));  // crossing
+}
+
+}  // namespace
+}  // namespace mintri

@@ -1,0 +1,87 @@
+#include "enumeration/tree_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/standard_costs.h"
+#include "test_util.h"
+#include "triang/min_triang.h"
+#include "workloads/named_graphs.h"
+
+namespace mintri {
+namespace {
+
+using testutil::MakeGraph;
+
+TreeDecomposition PaperT1() {
+  // T1 of Figure 1(c): {u,w1,w2,w3} - {v,w1,w2,w3} - {v,v'}.
+  TreeDecomposition td;
+  td.bags = {VertexSet::Of(6, {0, 3, 4, 5}), VertexSet::Of(6, {1, 3, 4, 5}),
+             VertexSet::Of(6, {1, 2})};
+  td.edges = {{0, 1}, {1, 2}};
+  return td;
+}
+
+TEST(TreeDecompositionTest, PaperT1IsValidAndProper) {
+  Graph g = testutil::PaperExampleGraph();
+  TreeDecomposition t1 = PaperT1();
+  EXPECT_TRUE(t1.IsValidFor(g));
+  EXPECT_TRUE(t1.IsProperFor(g));
+  EXPECT_EQ(t1.Width(), 3);
+}
+
+TEST(TreeDecompositionTest, NonProperVariants) {
+  Graph g = testutil::PaperExampleGraph();
+  // T1' of the paper: add w1 to the bottom bag — still valid, not proper.
+  TreeDecomposition t1p = PaperT1();
+  t1p.bags[2].Insert(3);
+  EXPECT_TRUE(t1p.IsValidFor(g));
+  EXPECT_FALSE(t1p.IsProperFor(g));
+  // One giant bag: valid, not proper.
+  TreeDecomposition fat;
+  fat.bags = {g.Vertices()};
+  EXPECT_TRUE(fat.IsValidFor(g));
+  EXPECT_FALSE(fat.IsProperFor(g));
+}
+
+TEST(TreeDecompositionTest, InvalidWhenEdgeUncovered) {
+  Graph g = testutil::PaperExampleGraph();
+  TreeDecomposition td = PaperT1();
+  td.bags[2] = VertexSet::Of(6, {2});  // drop v from the bottom bag: edge
+                                       // v-v' uncovered and v' disconnected
+  EXPECT_FALSE(td.IsValidFor(g));
+}
+
+TEST(TreeDecompositionTest, InvalidWhenJunctionViolated) {
+  // Two bags containing vertex 0 separated by a bag without it.
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  TreeDecomposition td;
+  td.bags = {VertexSet::Of(3, {0, 1}), VertexSet::Of(3, {1, 2}),
+             VertexSet::Of(3, {0, 2})};
+  td.edges = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(td.IsValidFor(g));
+}
+
+TEST(TreeDecompositionTest, InvalidWhenCyclic) {
+  Graph g = workloads::Path(3);
+  TreeDecomposition td;
+  td.bags = {VertexSet::Of(3, {0, 1}), VertexSet::Of(3, {1, 2}),
+             VertexSet::Of(3, {1})};
+  td.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_FALSE(td.IsValidFor(g));
+}
+
+TEST(TreeDecompositionTest, CliqueTreeOfMinTriangIsProper) {
+  Graph g = workloads::Grid(3, 3);
+  auto ctx = TriangulationContext::Build(g);
+  ASSERT_TRUE(ctx.has_value());
+  WidthCost width;
+  auto t = MinTriang(*ctx, width);
+  ASSERT_TRUE(t.has_value());
+  TreeDecomposition td = CliqueTreeOf(*t);
+  EXPECT_TRUE(td.IsValidFor(g));
+  EXPECT_TRUE(td.IsProperFor(g));
+  EXPECT_EQ(td.Width(), t->Width());
+}
+
+}  // namespace
+}  // namespace mintri

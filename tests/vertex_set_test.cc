@@ -1,0 +1,99 @@
+#include "graph/vertex_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mintri {
+namespace {
+
+TEST(VertexSetTest, EmptyByDefault) {
+  VertexSet s(10);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.First(), -1);
+  EXPECT_EQ(s.capacity(), 10);
+}
+
+TEST(VertexSetTest, InsertEraseContains) {
+  VertexSet s(100);
+  s.Insert(3);
+  s.Insert(64);
+  s.Insert(99);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_TRUE(s.Contains(99));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.Count(), 3);
+  s.Erase(64);
+  EXPECT_FALSE(s.Contains(64));
+  EXPECT_EQ(s.Count(), 2);
+}
+
+TEST(VertexSetTest, AllCoversExactlyTheUniverse) {
+  for (int cap : {1, 63, 64, 65, 128, 200}) {
+    VertexSet s = VertexSet::All(cap);
+    EXPECT_EQ(s.Count(), cap) << "capacity " << cap;
+    EXPECT_TRUE(s.Contains(cap - 1));
+  }
+}
+
+TEST(VertexSetTest, FirstReturnsSmallest) {
+  VertexSet s(130);
+  s.Insert(127);
+  s.Insert(65);
+  s.Insert(90);
+  EXPECT_EQ(s.First(), 65);
+}
+
+TEST(VertexSetTest, SetAlgebra) {
+  VertexSet a = VertexSet::Of(10, {1, 2, 3});
+  VertexSet b = VertexSet::Of(10, {3, 4});
+  EXPECT_EQ(a.Union(b), VertexSet::Of(10, {1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), VertexSet::Of(10, {3}));
+  EXPECT_EQ(a.Minus(b), VertexSet::Of(10, {1, 2}));
+  EXPECT_EQ(VertexSet::Of(3, {0, 1}).Complement(), VertexSet::Of(3, {2}));
+}
+
+TEST(VertexSetTest, SubsetAndIntersects) {
+  VertexSet a = VertexSet::Of(70, {1, 65});
+  VertexSet b = VertexSet::Of(70, {1, 2, 65});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(VertexSet::Of(70, {3, 66})));
+  EXPECT_TRUE(VertexSet(70).IsSubsetOf(a));
+}
+
+TEST(VertexSetTest, ForEachVisitsInIncreasingOrder) {
+  VertexSet s = VertexSet::Of(200, {0, 7, 64, 128, 199});
+  std::vector<int> seen;
+  s.ForEach([&](int v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 7, 64, 128, 199}));
+  EXPECT_EQ(s.ToVector(), seen);
+}
+
+TEST(VertexSetTest, ToString) {
+  EXPECT_EQ(VertexSet::Of(10, {1, 5}).ToString(), "{1,5}");
+  EXPECT_EQ(VertexSet(10).ToString(), "{}");
+}
+
+TEST(VertexSetTest, OrderingAndHashing) {
+  VertexSet a = VertexSet::Of(10, {1});
+  VertexSet b = VertexSet::Of(10, {2});
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, VertexSet::Of(10, {1}));
+  EXPECT_EQ(a.Hash(), VertexSet::Of(10, {1}).Hash());
+  std::set<VertexSet> ordered = {a, b, a};
+  EXPECT_EQ(ordered.size(), 2u);
+}
+
+TEST(VertexSetTest, SingleAndFromVector) {
+  EXPECT_EQ(VertexSet::Single(5, 3), VertexSet::Of(5, {3}));
+  EXPECT_EQ(VertexSet::FromVector(5, {0, 2}), VertexSet::Of(5, {0, 2}));
+}
+
+}  // namespace
+}  // namespace mintri
