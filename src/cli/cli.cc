@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -21,8 +22,43 @@ struct Options {
   std::string format = "summary";
   double time_limit = 30.0;
   bool stats = false;
+  bool help = false;
   std::string file;  // empty: stdin
 };
+
+constexpr char kUsage[] =
+    "usage: mintri [options] [graph.gr]\n"
+    "\n"
+    "Reads a graph in DIMACS/PACE .gr format (from the file argument or\n"
+    "stdin) and prints its minimal triangulations in ranked order.\n"
+    "\n"
+    "  --cost=width|fill|width-then-fill|state-space   (default width)\n"
+    "  --top=K            stop after K results          (default 5)\n"
+    "  --algo=ranked|ckk  ranked enumeration or the CKK baseline\n"
+    "  --bound=B          width bound (MinTriangB contexts)\n"
+    "  --format=summary|td   per-result line, or PACE .td blocks\n"
+    "  --time-limit=SEC   initialization budget in seconds (default 30)\n"
+    "  --stats            print initialization statistics to stderr\n"
+    "  --help             show this message and exit\n";
+
+bool ParseNumber(const std::string& value, long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value.c_str(), &end, 10);
+  return end != value.c_str() && *end == '\0';
+}
+
+bool ParseNumber(const std::string& value, int* out) {
+  long long wide;
+  if (!ParseNumber(value, &wide)) return false;
+  *out = static_cast<int>(wide);
+  return true;
+}
+
+bool ParseNumber(const std::string& value, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  return end != value.c_str() && *end == '\0';
+}
 
 bool ParseArgs(const std::vector<std::string>& args, Options* options,
                std::ostream& err) {
@@ -31,20 +67,31 @@ bool ParseArgs(const std::vector<std::string>& args, Options* options,
       if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
       return std::nullopt;
     };
-    if (auto v = value_of("--cost=")) {
-      options->cost = *v;
-    } else if (auto v = value_of("--top=")) {
-      options->top = std::atoll(v->c_str());
-    } else if (auto v = value_of("--algo=")) {
-      options->algo = *v;
-    } else if (auto v = value_of("--bound=")) {
-      options->bound = std::atoi(v->c_str());
-    } else if (auto v = value_of("--format=")) {
-      options->format = *v;
-    } else if (auto v = value_of("--time-limit=")) {
-      options->time_limit = std::atof(v->c_str());
+    if (auto cost = value_of("--cost=")) {
+      options->cost = *cost;
+    } else if (auto top = value_of("--top=")) {
+      if (!ParseNumber(*top, &options->top)) {
+        err << "invalid value for --top: " << *top << "\n";
+        return false;
+      }
+    } else if (auto algo = value_of("--algo=")) {
+      options->algo = *algo;
+    } else if (auto bound = value_of("--bound=")) {
+      if (!ParseNumber(*bound, &options->bound)) {
+        err << "invalid value for --bound: " << *bound << "\n";
+        return false;
+      }
+    } else if (auto format = value_of("--format=")) {
+      options->format = *format;
+    } else if (auto time_limit = value_of("--time-limit=")) {
+      if (!ParseNumber(*time_limit, &options->time_limit)) {
+        err << "invalid value for --time-limit: " << *time_limit << "\n";
+        return false;
+      }
     } else if (arg == "--stats") {
       options->stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options->help = true;
     } else if (!arg.empty() && arg[0] == '-') {
       err << "unknown option: " << arg << "\n";
       return false;
@@ -83,6 +130,10 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
            std::ostream& out, std::ostream& err) {
   Options options;
   if (!ParseArgs(args, &options, err)) return 1;
+  if (options.help) {
+    out << kUsage;
+    return 0;
+  }
 
   std::optional<Graph> g;
   if (options.file.empty()) {

@@ -23,6 +23,7 @@ namespace mintri {
 ///   --format=summary|td   per-result line, or PACE .td blocks
 ///   --time-limit=SEC   initialization budget in seconds (default 30)
 ///   --stats            print initialization statistics to stderr
+///   --help             print usage and exit 0
 ///
 /// Returns the process exit code (0 on success, 1 on usage/input errors,
 /// 2 when initialization exceeds its limits).

@@ -83,6 +83,7 @@ class VertexSet {
   bool operator==(const VertexSet& other) const {
     return words_ == other.words_;
   }
+  bool operator!=(const VertexSet& other) const { return !(*this == other); }
   /// Total order (by size of words then lexicographic), suitable for std::map
   /// keys and canonical sorting.
   bool operator<(const VertexSet& other) const {

@@ -65,10 +65,21 @@ TEST(CliTest, DisconnectedGraphWorksWithRanked) {
   EXPECT_EQ(r.out.find("#5"), std::string::npos);
 }
 
+TEST(CliTest, HelpPrintsUsageAndExitsZero) {
+  CliResult r = Invoke({"--help"}, "");
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("usage: mintri"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("--cost="), std::string::npos);
+  EXPECT_EQ(Invoke({"-h"}, "").code, 0);
+}
+
 TEST(CliTest, ErrorsAreReported) {
   EXPECT_EQ(Invoke({"--cost=bogus"}, kC4).code, 1);
   EXPECT_EQ(Invoke({"--algo=bogus"}, kC4).code, 1);
   EXPECT_EQ(Invoke({"--fancy"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--top=1O"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--bound="}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--time-limit=3O"}, kC4).code, 1);
   EXPECT_EQ(Invoke({}, "not a graph").code, 1);
   EXPECT_EQ(Invoke({"nonexistent_file.gr"}, "").code, 1);
 }
