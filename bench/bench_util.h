@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_suites.h"
 #include "cost/standard_costs.h"
 #include "enumeration/ckk.h"
 #include "enumeration/ranked_enum.h"
@@ -15,24 +16,10 @@
 namespace mintri {
 namespace bench {
 
-/// All wall-clock budgets in the harness are the paper's limits scaled
-/// down so the suite runs in minutes (DESIGN.md §3). MINTRI_TIME_SCALE
-/// multiplies every budget (e.g. MINTRI_TIME_SCALE=10 for a slower, more
-/// faithful run).
-inline double TimeScale() {
-  const char* env = std::getenv("MINTRI_TIME_SCALE");
-  if (env == nullptr) return 1.0;
-  double v = std::atof(env);
-  return v > 0 ? v : 1.0;
-}
-
-/// Scaled stand-ins for the paper's limits.
-inline double MinSepBudget() { return 0.5 * TimeScale(); }   // paper: 60 s
-inline double PmcBudget() { return 2.5 * TimeScale(); }      // paper: 30 min
-inline double EnumBudget() { return 1.5 * TimeScale(); }     // paper: 30 min
-
-inline constexpr size_t kMaxSeparators = 200000;
-inline constexpr size_t kMaxResults = 100000;
+// TimeScale()/MinSepBudget()/PmcBudget()/EnumBudget() and the
+// kMaxSeparators/kMaxResults caps now live in src/bench/bench_suites.h
+// (shared with the bench_runner/`mintri bench` JSON pipeline) and are
+// re-exported here via the include above.
 
 /// One time-budgeted enumeration run (either algorithm), in the shape the
 /// paper's Table 2 needs: per-result timestamps, widths and fill-ins.

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Schema validation for BENCH_core.json (the bench_runner report).
+
+Usage: validate_bench_json.py [--smoke] BENCH_core.json
+
+Checks the shape produced by src/bench/bench_suites.cc:WriteBenchJson so the
+CI bench-smoke job fails loudly when the schema drifts instead of uploading
+a silently broken artifact. Exits 0 on success, 1 with a message otherwise.
+"""
+
+import json
+import sys
+
+TOP_LEVEL = {
+    "schema_version": int,
+    "git_sha": str,
+    "time_scale": float,
+    "smoke": bool,
+    "suites": list,
+    "entries": list,
+}
+
+ENTRY = {
+    "suite": str,
+    "family": str,
+    "graph": str,
+    "n": int,
+    "m": int,
+    "count": int,
+    "wall_ms": float,
+    "results_per_sec": float,
+    "status": str,
+}
+
+KNOWN_SUITES = {"minseps", "pmc", "enum"}
+KNOWN_STATUSES = {"complete", "truncated", "init-timeout"}
+
+
+def fail(message):
+    print(f"validate_bench_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_fields(obj, spec, where):
+    for key, expected in spec.items():
+        if key not in obj:
+            fail(f"{where}: missing key {key!r}")
+        value = obj[key]
+        # ints are acceptable where floats are expected (JSON "1" vs "1.0").
+        if expected is float and isinstance(value, int):
+            continue
+        if not isinstance(value, expected):
+            fail(f"{where}: {key!r} has type {type(value).__name__}, "
+                 f"expected {expected.__name__}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    smoke = "--smoke" in sys.argv[1:]
+    if len(args) != 1:
+        fail("usage: validate_bench_json.py [--smoke] BENCH_core.json")
+
+    try:
+        with open(args[0]) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args[0]}: {e}")
+
+    check_fields(report, TOP_LEVEL, "top level")
+    if report["schema_version"] != 1:
+        fail(f"unsupported schema_version {report['schema_version']}")
+    if not report["git_sha"]:
+        fail("git_sha is empty")
+    if report["time_scale"] <= 0:
+        fail(f"time_scale must be positive, got {report['time_scale']}")
+    if smoke and not report["smoke"]:
+        fail("expected a --smoke report")
+
+    suites = report["suites"]
+    if not suites or not set(suites) <= KNOWN_SUITES:
+        fail(f"suites must be a non-empty subset of {sorted(KNOWN_SUITES)}, "
+             f"got {suites}")
+
+    entries = report["entries"]
+    if not entries:
+        fail("entries is empty")
+    for i, entry in enumerate(entries):
+        where = f"entries[{i}]"
+        check_fields(entry, ENTRY, where)
+        if entry["suite"] not in suites:
+            fail(f"{where}: suite {entry['suite']!r} not in {suites}")
+        if entry["status"] not in KNOWN_STATUSES:
+            fail(f"{where}: unknown status {entry['status']!r}")
+        if entry["n"] < 0 or entry["m"] < 0 or entry["count"] < 0:
+            fail(f"{where}: negative n/m/count")
+        if entry["wall_ms"] < 0 or entry["results_per_sec"] < 0:
+            fail(f"{where}: negative timing")
+
+    per_suite = {s: sum(1 for e in entries if e["suite"] == s)
+                 for s in suites}
+    print(f"validate_bench_json: OK: {len(entries)} entries "
+          f"({', '.join(f'{s}: {c}' for s, c in sorted(per_suite.items()))}), "
+          f"git {report['git_sha']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,280 @@
+#include "bench/bench_suites.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "cost/standard_costs.h"
+#include "enumeration/ranked_forest.h"
+#include "pmc/potential_maximal_cliques.h"
+#include "separators/minimal_separators.h"
+#include "util/timer.h"
+#include "workloads/families.h"
+
+#ifndef MINTRI_GIT_SHA
+#define MINTRI_GIT_SHA "unknown"
+#endif
+
+namespace mintri {
+namespace bench {
+
+namespace {
+
+// Smoke mode trims the sweep to a CI-sized gate: cheap, deterministic,
+// always-tractable families, few graphs each, tight budgets.
+constexpr int kSmokeGraphsPerFamily = 3;
+constexpr double kSmokeBudgetFactor = 0.25;
+const char* const kSmokeFamilies[] = {"Grids", "CSP", "TPC-H"};
+
+struct SuiteContext {
+  bool smoke = false;
+  double budget_factor = 1.0;
+};
+
+bool SmokeIncludesFamily(const std::string& name) {
+  for (const char* f : kSmokeFamilies) {
+    if (name == f) return true;
+  }
+  return false;
+}
+
+BenchEntry MakeEntry(const std::string& suite,
+                     const workloads::DatasetFamily& family,
+                     const workloads::DatasetGraph& dg) {
+  BenchEntry e;
+  e.suite = suite;
+  e.family = family.name;
+  e.graph = dg.name;
+  e.n = dg.graph.NumVertices();
+  e.m = dg.graph.NumEdges();
+  return e;
+}
+
+void FinishEntry(BenchEntry* e, long long count, double wall_seconds,
+                 const std::string& status) {
+  e->count = count;
+  e->wall_ms = wall_seconds * 1000.0;
+  e->results_per_sec = wall_seconds > 0 ? count / wall_seconds : 0.0;
+  e->status = status;
+}
+
+BenchEntry RunMinSeps(const SuiteContext& ctx,
+                      const workloads::DatasetFamily& family,
+                      const workloads::DatasetGraph& dg) {
+  BenchEntry e = MakeEntry("minseps", family, dg);
+  EnumerationLimits limits;
+  limits.time_limit_seconds = MinSepBudget() * ctx.budget_factor;
+  limits.max_results = kMaxSeparators;
+  WallTimer timer;
+  MinimalSeparatorsResult r = ListMinimalSeparators(dg.graph, limits);
+  FinishEntry(&e, static_cast<long long>(r.separators.size()),
+              timer.Seconds(),
+              r.status == EnumerationStatus::kComplete ? "complete"
+                                                       : "truncated");
+  return e;
+}
+
+BenchEntry RunPmc(const SuiteContext& ctx,
+                  const workloads::DatasetFamily& family,
+                  const workloads::DatasetGraph& dg) {
+  BenchEntry e = MakeEntry("pmc", family, dg);
+  EnumerationLimits sep_limits;
+  sep_limits.time_limit_seconds = MinSepBudget() * ctx.budget_factor;
+  sep_limits.max_results = kMaxSeparators;
+  WallTimer timer;
+  MinimalSeparatorsResult seps = ListMinimalSeparators(dg.graph, sep_limits);
+  if (seps.status != EnumerationStatus::kComplete) {
+    FinishEntry(&e, 0, timer.Seconds(), "init-timeout");
+    return e;
+  }
+  PmcOptions options;
+  options.limits.time_limit_seconds = PmcBudget() * ctx.budget_factor;
+  timer.Reset();
+  PmcResult pmcs =
+      ListPotentialMaximalCliques(dg.graph, seps.separators, options);
+  FinishEntry(&e, static_cast<long long>(pmcs.pmcs.size()), timer.Seconds(),
+              pmcs.status == EnumerationStatus::kComplete ? "complete"
+                                                          : "truncated");
+  return e;
+}
+
+BenchEntry RunEnum(const SuiteContext& ctx,
+                   const workloads::DatasetFamily& family,
+                   const workloads::DatasetGraph& dg) {
+  BenchEntry e = MakeEntry("enum", family, dg);
+  const double budget = EnumBudget() * ctx.budget_factor;
+  ContextOptions options;
+  options.separator_limits.time_limit_seconds = budget;
+  options.separator_limits.max_results = kMaxSeparators;
+  options.pmc_limits.time_limit_seconds = budget;
+  WidthCost cost;
+  WallTimer timer;
+  RankedForestEnumerator enumerator(dg.graph, cost, CostComposition::kMax,
+                                    options);
+  if (!enumerator.init_ok()) {
+    FinishEntry(&e, 0, timer.Seconds(), "init-timeout");
+    return e;
+  }
+  long long count = 0;
+  bool finished = false;
+  while (timer.Seconds() < budget &&
+         count < static_cast<long long>(kMaxResults)) {
+    if (!enumerator.Next().has_value()) {
+      finished = true;
+      break;
+    }
+    ++count;
+  }
+  FinishEntry(&e, count, timer.Seconds(),
+              finished ? "complete" : "truncated");
+  return e;
+}
+
+void AppendJsonString(const std::string& s, std::ostream& out) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed << v;
+  std::string s = os.str();
+  // Trim trailing zeros (keep at least one decimal digit so the value stays
+  // a JSON float).
+  size_t last = s.find_last_not_of('0');
+  if (s[last] == '.') ++last;
+  return s.substr(0, last + 1);
+}
+
+}  // namespace
+
+double TimeScale() {
+  const char* env = std::getenv("MINTRI_TIME_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+double MinSepBudget() { return 0.5 * TimeScale(); }
+double PmcBudget() { return 2.5 * TimeScale(); }
+double EnumBudget() { return 1.5 * TimeScale(); }
+
+const std::vector<std::string>& AllSuiteNames() {
+  static const std::vector<std::string> kNames = {"minseps", "pmc", "enum"};
+  return kNames;
+}
+
+bool IsKnownSuite(const std::string& name) {
+  const std::vector<std::string>& all = AllSuiteNames();
+  return std::find(all.begin(), all.end(), name) != all.end();
+}
+
+std::string GitSha() {
+  const char* env = std::getenv("MINTRI_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+  return MINTRI_GIT_SHA;
+}
+
+BenchReport RunBenchSuites(const BenchRunOptions& options,
+                           std::ostream* progress) {
+  BenchReport report;
+  report.git_sha = GitSha();
+  report.time_scale = TimeScale();
+  report.smoke = options.smoke;
+  report.suites = options.suites.empty() ? AllSuiteNames() : options.suites;
+
+  SuiteContext ctx;
+  ctx.smoke = options.smoke;
+  ctx.budget_factor = options.smoke ? kSmokeBudgetFactor : 1.0;
+
+  for (const std::string& suite : report.suites) {
+    for (const workloads::DatasetFamily& family : workloads::AllFamilies()) {
+      if (ctx.smoke && !SmokeIncludesFamily(family.name)) continue;
+      int used = 0;
+      for (const workloads::DatasetGraph& dg : family.graphs) {
+        if (ctx.smoke && used >= kSmokeGraphsPerFamily) break;
+        ++used;
+        BenchEntry entry;
+        if (suite == "minseps") {
+          entry = RunMinSeps(ctx, family, dg);
+        } else if (suite == "pmc") {
+          entry = RunPmc(ctx, family, dg);
+        } else {
+          entry = RunEnum(ctx, family, dg);
+        }
+        if (progress != nullptr) {
+          *progress << suite << " " << family.name << "/" << dg.name << ": "
+                    << entry.count << " results in " << FormatDouble(
+                           entry.wall_ms) << " ms (" << entry.status
+                    << ")\n";
+        }
+        report.entries.push_back(std::move(entry));
+      }
+    }
+  }
+  return report;
+}
+
+void WriteBenchJson(const BenchReport& report, std::ostream& out) {
+  out << "{\n";
+  out << "  \"schema_version\": " << report.schema_version << ",\n";
+  out << "  \"git_sha\": ";
+  AppendJsonString(report.git_sha, out);
+  out << ",\n";
+  out << "  \"time_scale\": " << FormatDouble(report.time_scale) << ",\n";
+  out << "  \"smoke\": " << (report.smoke ? "true" : "false") << ",\n";
+  out << "  \"suites\": [";
+  for (size_t i = 0; i < report.suites.size(); ++i) {
+    if (i > 0) out << ", ";
+    AppendJsonString(report.suites[i], out);
+  }
+  out << "],\n";
+  out << "  \"entries\": [\n";
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    const BenchEntry& e = report.entries[i];
+    out << "    {\"suite\": ";
+    AppendJsonString(e.suite, out);
+    out << ", \"family\": ";
+    AppendJsonString(e.family, out);
+    out << ", \"graph\": ";
+    AppendJsonString(e.graph, out);
+    out << ", \"n\": " << e.n << ", \"m\": " << e.m
+        << ", \"count\": " << e.count
+        << ", \"wall_ms\": " << FormatDouble(e.wall_ms)
+        << ", \"results_per_sec\": " << FormatDouble(e.results_per_sec)
+        << ", \"status\": ";
+    AppendJsonString(e.status, out);
+    out << "}" << (i + 1 < report.entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+}  // namespace bench
+}  // namespace mintri

@@ -1,0 +1,78 @@
+#ifndef MINTRI_BENCH_BENCH_SUITES_H_
+#define MINTRI_BENCH_BENCH_SUITES_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mintri {
+namespace bench {
+
+/// All wall-clock budgets in the benchmark harness are the paper's limits
+/// scaled down so a full run finishes in minutes (the paper's Section 7 runs
+/// take server-days). MINTRI_TIME_SCALE multiplies every budget (e.g.
+/// MINTRI_TIME_SCALE=10 for a slower, more faithful run).
+double TimeScale();
+
+/// Scaled stand-ins for the paper's limits.
+double MinSepBudget();  // paper: 60 s
+double PmcBudget();     // paper: 30 min
+double EnumBudget();    // paper: 30 min
+
+/// Result-count caps shared by the JSON pipeline and the paper-figure
+/// benches, so both harnesses always measure under the same ceilings.
+inline constexpr size_t kMaxSeparators = 200000;
+inline constexpr size_t kMaxResults = 100000;
+
+/// One benchmarked (suite, graph) pair of BENCH_core.json.
+struct BenchEntry {
+  std::string suite;   // "minseps" | "pmc" | "enum"
+  std::string family;  // workload family name (Fig. 5 naming)
+  std::string graph;   // graph name within the family
+  int n = 0;           // vertices
+  int m = 0;           // edges
+  long long count = 0;          // results produced within budget
+  double wall_ms = 0.0;         // wall time spent on this graph
+  double results_per_sec = 0.0;  // count / wall seconds
+  std::string status;  // "complete" | "truncated" | "init-timeout"
+};
+
+/// The machine-readable benchmark report (serialized as BENCH_core.json).
+struct BenchReport {
+  int schema_version = 1;
+  std::string git_sha;
+  double time_scale = 1.0;
+  bool smoke = false;
+  std::vector<std::string> suites;
+  std::vector<BenchEntry> entries;
+};
+
+struct BenchRunOptions {
+  /// Subset of AllSuiteNames(); empty means all.
+  std::vector<std::string> suites;
+  /// Smoke mode: a few cheap families, capped graphs per family, and
+  /// budgets scaled down — sized for a CI gate, not for trend analysis.
+  bool smoke = false;
+};
+
+const std::vector<std::string>& AllSuiteNames();
+bool IsKnownSuite(const std::string& name);
+
+/// Runs the selected suites over the src/workloads families. When `progress`
+/// is non-null, one line per (suite, graph) is streamed to it.
+BenchReport RunBenchSuites(const BenchRunOptions& options,
+                           std::ostream* progress);
+
+/// Serializes the report as pretty-printed JSON (the BENCH_core.json
+/// schema; see README "Benchmarks" and scripts/validate_bench_json.py).
+void WriteBenchJson(const BenchReport& report, std::ostream& out);
+
+/// The git sha baked in at configure time; the MINTRI_GIT_SHA environment
+/// variable overrides it, and "unknown" is the fallback.
+std::string GitSha();
+
+}  // namespace bench
+}  // namespace mintri
+
+#endif  // MINTRI_BENCH_BENCH_SUITES_H_

@@ -9,19 +9,26 @@ namespace mintri {
 Graph LbTriang(const Graph& g, const std::vector<int>& order) {
   assert(static_cast<int>(order.size()) == g.NumVertices());
   Graph h = g;
+  ComponentScanner scanner;
+  std::vector<VertexSet> separators;
   for (int x : order) {
     // Components of H \ N_H[x]; their neighborhoods are the minimal
     // separators of H included in N_H(x). Saturating them only adds edges
     // inside N_H(x), which does not disturb the other components, so the
-    // component list can be computed once per step.
-    std::vector<VertexSet> components =
-        h.ComponentsAfterRemoving(h.ClosedNeighborhood(x));
-    std::vector<VertexSet> separators;
-    separators.reserve(components.size());
-    for (const VertexSet& c : components) {
-      separators.push_back(h.NeighborhoodOfSet(c));
-    }
-    for (const VertexSet& s : separators) h.SaturateSet(s);
+    // component list can be computed once per step (the scan yields each
+    // neighborhood directly; saturation is deferred until after the scan
+    // because it mutates H).
+    size_t count = 0;
+    scanner.ForEachComponent(h, h.ClosedNeighborhood(x),
+                             [&](const VertexSet&, const VertexSet& nb) {
+                               if (count < separators.size()) {
+                                 separators[count] = nb;
+                               } else {
+                                 separators.push_back(nb);
+                               }
+                               ++count;
+                             });
+    for (size_t i = 0; i < count; ++i) h.SaturateSet(separators[i]);
   }
   return h;
 }

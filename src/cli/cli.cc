@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "bench/bench_suites.h"
 #include "cost/standard_costs.h"
 #include "enumeration/ckk.h"
 #include "enumeration/ranked_forest.h"
@@ -28,6 +29,7 @@ struct Options {
 
 constexpr char kUsage[] =
     "usage: mintri [options] [graph.gr]\n"
+    "       mintri bench [suite...] [options]   (see mintri bench --help)\n"
     "\n"
     "Reads a graph in DIMACS/PACE .gr format (from the file argument or\n"
     "stdin) and prints its minimal triangulations in ranked order.\n"
@@ -102,6 +104,71 @@ bool ParseArgs(const std::vector<std::string>& args, Options* options,
   return true;
 }
 
+constexpr char kBenchUsage[] =
+    "usage: mintri bench [suite...] [options]\n"
+    "\n"
+    "Runs the named benchmark suites over the built-in workload families and\n"
+    "writes a machine-readable BENCH_core.json report. Suites: minseps (one\n"
+    "ListMinimalSeparators pass per graph), pmc (minimal separators + PMC\n"
+    "enumeration), enum (ranked enumeration of minimal triangulations).\n"
+    "With no suite arguments (or with the keyword 'all'), all suites run.\n"
+    "\n"
+    "  --out=FILE   output path (default BENCH_core.json; '-' for stdout)\n"
+    "  --smoke      CI-sized run: few families, capped graphs, short budgets\n"
+    "  --quiet      no per-graph progress on stderr\n"
+    "  --help       show this message and exit\n"
+    "\n"
+    "Budgets scale with the MINTRI_TIME_SCALE environment variable; the\n"
+    "report's git_sha comes from configure time (MINTRI_GIT_SHA overrides).\n";
+
+int RunBenchCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  bench::BenchRunOptions options;
+  std::string out_path = "BENCH_core.json";
+  bool quiet = false;
+  bool all_suites = false;
+  for (const std::string& arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      out << kBenchUsage;
+      return 0;
+    } else if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "unknown option: " << arg << "\n";
+      return 1;
+    } else if (arg == "all") {
+      all_suites = true;
+    } else if (bench::IsKnownSuite(arg)) {
+      options.suites.push_back(arg);
+    } else {
+      err << "unknown suite: " << arg
+          << " (expected minseps, pmc, enum, or all)\n";
+      return 1;
+    }
+  }
+  if (all_suites) options.suites.clear();  // empty = every suite
+
+  bench::BenchReport report =
+      bench::RunBenchSuites(options, quiet ? nullptr : &err);
+  if (out_path == "-") {
+    bench::WriteBenchJson(report, out);
+  } else {
+    std::ofstream file(out_path);
+    if (!file) {
+      err << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    bench::WriteBenchJson(report, file);
+    err << "wrote " << out_path << " (" << report.entries.size()
+        << " entries, git " << report.git_sha << ")\n";
+  }
+  return 0;
+}
+
 std::unique_ptr<BagCost> MakeCost(const std::string& name, int n) {
   if (name == "width") return std::make_unique<WidthCost>();
   if (name == "fill") return std::make_unique<FillInCost>();
@@ -128,6 +195,10 @@ void PrintResult(const Options& options, const Graph& g, int rank,
 
 int RunCli(const std::vector<std::string>& args, std::istream& in,
            std::ostream& out, std::ostream& err) {
+  if (!args.empty() && args[0] == "bench") {
+    return RunBenchCommand(
+        std::vector<std::string>(args.begin() + 1, args.end()), out, err);
+  }
   Options options;
   if (!ParseArgs(args, &options, err)) return 1;
   if (options.help) {

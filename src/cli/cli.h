@@ -11,6 +11,11 @@ namespace mintri {
 /// The `mintri_cli` command-line front end, as a testable function.
 ///
 ///   mintri_cli [options] [graph.gr]
+///   mintri_cli bench [suite...] [--smoke] [--out=FILE] [--quiet]
+///
+/// The `bench` subcommand runs the named benchmark suites (minseps, pmc,
+/// enum; all when omitted) over the built-in workload families and writes
+/// the machine-readable BENCH_core.json report (see src/bench).
 ///
 /// Reads a graph in DIMACS/PACE ".gr" format (from the file argument or
 /// stdin) and prints its minimal triangulations / proper tree

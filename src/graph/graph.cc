@@ -21,10 +21,15 @@ VertexSet Graph::ClosedNeighborhood(int v) const {
 }
 
 VertexSet Graph::NeighborhoodOfSet(const VertexSet& s) const {
-  VertexSet out(n_);
-  s.ForEach([&](int v) { out.UnionWith(adjacency_[v]); });
-  out.MinusWith(s);
+  VertexSet out;
+  NeighborhoodOfSetInto(s, &out);
   return out;
+}
+
+void Graph::NeighborhoodOfSetInto(const VertexSet& s, VertexSet* out) const {
+  out->Reset(n_);
+  s.ForEach([&](int v) { out->UnionWith(adjacency_[v]); });
+  out->MinusWith(s);
 }
 
 void Graph::SaturateSet(const VertexSet& u) {
@@ -82,30 +87,17 @@ std::vector<VertexSet> Graph::ConnectedComponents() const {
 std::vector<VertexSet> Graph::ComponentsAfterRemoving(
     const VertexSet& removed) const {
   std::vector<VertexSet> components;
-  VertexSet remaining = removed.Complement();
-  while (true) {
-    int start = remaining.First();
-    if (start < 0) break;
-    VertexSet comp = ComponentOf(start, removed);
-    remaining.MinusWith(comp);
-    components.push_back(std::move(comp));
-  }
+  ComponentScanner scanner;
+  scanner.ForEachComponent(
+      *this, removed,
+      [&](const VertexSet& c, const VertexSet&) { components.push_back(c); });
   return components;
 }
 
 VertexSet Graph::ComponentOf(int v, const VertexSet& removed) const {
   assert(!removed.Contains(v));
-  VertexSet comp = VertexSet::Single(n_, v);
-  VertexSet frontier = comp;
-  while (!frontier.Empty()) {
-    VertexSet next(n_);
-    frontier.ForEach([&](int u) { next.UnionWith(adjacency_[u]); });
-    next.MinusWith(removed);
-    next.MinusWith(comp);
-    comp.UnionWith(next);
-    frontier = std::move(next);
-  }
-  return comp;
+  ComponentScanner scanner;
+  return scanner.ComponentOf(*this, removed, v);
 }
 
 bool Graph::IsConnected() const {
@@ -122,6 +114,64 @@ Graph Graph::UnionOf(const Graph& a, const Graph& b) {
     });
   }
   return g;
+}
+
+void ComponentScanner::Components(const Graph& g, const VertexSet& removed,
+                                  std::vector<VertexSet>* components) {
+  size_t count = 0;
+  ForEachComponent(g, removed, [&](const VertexSet& c, const VertexSet&) {
+    if (count < components->size()) {
+      (*components)[count] = c;  // reuses the element's buffer
+    } else {
+      components->push_back(c);
+    }
+    ++count;
+  });
+  components->resize(count);
+}
+
+const VertexSet& ComponentScanner::ComponentOf(const Graph& g,
+                                               const VertexSet& removed,
+                                               int v) {
+  assert(!removed.Contains(v));
+  ScanFrom(g, removed, v);
+  return component_;
+}
+
+void ComponentScanner::ScanFrom(const Graph& g, const VertexSet& removed,
+                                int start) {
+  const int n = g.NumVertices();
+  component_.Reset(n);
+  component_.Insert(start);
+  neighborhood_.Reset(n);
+  frontier_.Reset(n);
+  frontier_.Insert(start);
+  reach_.Reset(n);
+  const size_t words = component_.words_.size();
+  while (true) {
+    frontier_.ForEach([&](int u) { reach_.UnionWith(g.Neighbors(u)); });
+    // Fused level update, one pass over the words: fold the reach into the
+    // neighborhood accumulator, compute the next frontier (reached, not
+    // removed, not yet visited), and grow the component.
+    uint64_t any = 0;
+    for (size_t w = 0; w < words; ++w) {
+      const uint64_t r = reach_.words_[w];
+      neighborhood_.words_[w] |= r;  // accumulates ∪_{u∈C} N(u)
+      const uint64_t fresh =
+          r & ~removed.words_[w] & ~component_.words_[w];
+      component_.words_[w] |= fresh;
+      frontier_.words_[w] = fresh;
+      reach_.words_[w] = 0;
+      any |= fresh;
+    }
+    if (any == 0) break;
+  }
+  for (size_t w = 0; w < words; ++w) {
+    neighborhood_.words_[w] &= ~component_.words_[w];  // ∪N(u) \ C = N(C)
+  }
+  component_.hash_valid_ = false;
+  neighborhood_.hash_valid_ = false;
+  frontier_.hash_valid_ = false;
 }
 
 }  // namespace mintri

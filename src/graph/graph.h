@@ -33,6 +33,9 @@ class Graph {
   /// N(S): vertices outside S adjacent to a member of S.
   VertexSet NeighborhoodOfSet(const VertexSet& s) const;
 
+  /// N(S) written into *out (reusing its storage); for hot paths.
+  void NeighborhoodOfSetInto(const VertexSet& s, VertexSet* out) const;
+
   /// All vertices {0, ..., n-1}.
   VertexSet Vertices() const { return VertexSet::All(n_); }
 
@@ -56,6 +59,8 @@ class Graph {
 
   /// Connected components of G \ removed (i.e., of the subgraph induced by
   /// the complement of `removed`), as vertex sets of the original graph.
+  /// Hot paths should prefer a reused ComponentScanner (below), which also
+  /// delivers each component's neighborhood without extra allocation.
   std::vector<VertexSet> ComponentsAfterRemoving(const VertexSet& removed)
       const;
 
@@ -76,6 +81,68 @@ class Graph {
   int n_ = 0;
   int num_edges_ = 0;
   std::vector<VertexSet> adjacency_;
+};
+
+/// Scratch-reusing component scanner: a single BFS pass per component that
+/// yields both the component C and its neighborhood N(C) (the pair every
+/// caller in the separator/PMC machinery needs), without allocating fresh
+/// frontier/visited temporaries per call. Keep one scanner alive across
+/// calls — its buffers are recycled — and use one scanner per thread.
+class ComponentScanner {
+ public:
+  ComponentScanner() = default;
+
+  /// Calls fn(component, neighborhood) for every connected component C of
+  /// g \ removed, where neighborhood = N(C) ⊆ removed. Both sets are scratch
+  /// buffers owned by the scanner: they are only valid for the duration of
+  /// the callback and must be copied to be retained.
+  template <typename Fn>
+  void ForEachComponent(const Graph& g, const VertexSet& removed, Fn&& fn) {
+    ForEachComponentWhile(g, removed,
+                          [&](const VertexSet& c, const VertexSet& nb) {
+                            fn(c, nb);
+                            return true;
+                          });
+  }
+
+  /// As ForEachComponent, but stops early when fn returns false. Returns
+  /// false iff the scan was cut short.
+  template <typename Fn>
+  bool ForEachComponentWhile(const Graph& g, const VertexSet& removed,
+                             Fn&& fn) {
+    remaining_.AssignComplementOf(removed);
+    while (true) {
+      int start = remaining_.First();
+      if (start < 0) return true;
+      ScanFrom(g, removed, start);
+      remaining_.MinusWith(component_);
+      if (!fn(static_cast<const VertexSet&>(component_),
+              static_cast<const VertexSet&>(neighborhood_))) {
+        return false;
+      }
+    }
+  }
+
+  /// Overwrites *components with the components of g \ removed, reusing the
+  /// vector's elements (and their buffers) from previous calls.
+  void Components(const Graph& g, const VertexSet& removed,
+                  std::vector<VertexSet>* components);
+
+  /// The component of g \ removed containing v, as a reference into scanner
+  /// scratch (valid until the next scanner call).
+  const VertexSet& ComponentOf(const Graph& g, const VertexSet& removed,
+                               int v);
+
+ private:
+  // BFS from `start`, filling component_ with its component of g \ removed
+  // and neighborhood_ with that component's neighborhood.
+  void ScanFrom(const Graph& g, const VertexSet& removed, int start);
+
+  VertexSet remaining_;
+  VertexSet component_;
+  VertexSet neighborhood_;
+  VertexSet frontier_;
+  VertexSet reach_;
 };
 
 }  // namespace mintri

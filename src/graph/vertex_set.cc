@@ -6,11 +6,7 @@ namespace mintri {
 
 VertexSet VertexSet::All(int capacity) {
   VertexSet s(capacity);
-  for (size_t w = 0; w < s.words_.size(); ++w) s.words_[w] = ~uint64_t{0};
-  int extra = static_cast<int>(s.words_.size()) * 64 - capacity;
-  if (extra > 0 && !s.words_.empty()) {
-    s.words_.back() >>= extra;
-  }
+  s.ResetAll(capacity);
   return s;
 }
 
@@ -30,6 +26,44 @@ VertexSet VertexSet::FromVector(int capacity, const std::vector<int>& vs) {
   VertexSet s(capacity);
   for (int v : vs) s.Insert(v);
   return s;
+}
+
+void VertexSet::Reset(int capacity) {
+  capacity_ = capacity;
+  words_.assign((capacity + 63) / 64, 0);
+  hash_ = kEmptyHash;
+  hash_valid_ = true;
+}
+
+void VertexSet::ResetAll(int capacity) {
+  capacity_ = capacity;
+  words_.assign((capacity + 63) / 64, ~uint64_t{0});
+  int extra = static_cast<int>(words_.size()) * 64 - capacity;
+  if (extra > 0 && !words_.empty()) {
+    words_.back() >>= extra;
+  }
+  hash_valid_ = false;
+}
+
+void VertexSet::AssignUnionOf(const VertexSet& a, const VertexSet& b) {
+  assert(a.capacity_ == b.capacity_);
+  capacity_ = a.capacity_;
+  words_.resize(a.words_.size());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    words_[w] = a.words_[w] | b.words_[w];
+  }
+  hash_valid_ = false;
+}
+
+void VertexSet::AssignComplementOf(const VertexSet& s) {
+  capacity_ = s.capacity_;
+  words_.resize(s.words_.size());
+  for (size_t w = 0; w < words_.size(); ++w) words_[w] = ~s.words_[w];
+  int extra = static_cast<int>(words_.size()) * 64 - capacity_;
+  if (extra > 0 && !words_.empty()) {
+    words_.back() &= ~uint64_t{0} >> extra;
+  }
+  hash_valid_ = false;
 }
 
 bool VertexSet::Empty() const {
@@ -73,16 +107,19 @@ bool VertexSet::Intersects(const VertexSet& other) const {
 void VertexSet::UnionWith(const VertexSet& other) {
   assert(capacity_ == other.capacity_);
   for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  hash_valid_ = false;
 }
 
 void VertexSet::IntersectWith(const VertexSet& other) {
   assert(capacity_ == other.capacity_);
   for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  hash_valid_ = false;
 }
 
 void VertexSet::MinusWith(const VertexSet& other) {
   assert(capacity_ == other.capacity_);
   for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  hash_valid_ = false;
 }
 
 VertexSet VertexSet::Union(const VertexSet& other) const {
@@ -128,14 +165,11 @@ std::string VertexSet::ToString() const {
   return out;
 }
 
-size_t VertexSet::Hash() const {
-  // FNV-1a over the words.
-  uint64_t h = 1469598103934665603ULL;
-  for (uint64_t w : words_) {
-    h ^= w;
-    h *= 1099511628211ULL;
-  }
-  return static_cast<size_t>(h);
+void VertexSet::RecomputeHash() const {
+  uint64_t h = kEmptyHash;
+  ForEach([&](int v) { h ^= MixVertex(v); });
+  hash_ = h;
+  hash_valid_ = true;
 }
 
 }  // namespace mintri

@@ -14,6 +14,12 @@ namespace mintri {
 /// predicates of the Bouchitté–Todinca machinery (subset tests, neighborhood
 /// unions, component expansion) are word-parallel.
 ///
+/// The hash is commutative (XOR of a per-vertex mix), cached, and maintained
+/// incrementally by Insert/Erase; word-parallel mutators invalidate the cache
+/// and Hash() recomputes it on demand. Enumeration hot paths (the separator
+/// arena, PMC dedup) key their hash tables on this cached value, so hashing a
+/// set that is repeatedly looked up costs one pass over its bits, once.
+///
 /// All binary operations require both operands to share the same capacity.
 class VertexSet {
  public:
@@ -36,11 +42,36 @@ class VertexSet {
 
   int capacity() const { return capacity_; }
 
-  void Insert(int v) { words_[v >> 6] |= (uint64_t{1} << (v & 63)); }
-  void Erase(int v) { words_[v >> 6] &= ~(uint64_t{1} << (v & 63)); }
-  bool Contains(int v) const {
-    return (words_[v >> 6] >> (v & 63)) & 1;
+  /// Empties the set over a (possibly new) universe, reusing the existing
+  /// word buffer when it is large enough. Scratch-set workhorse.
+  void Reset(int capacity);
+
+  /// Makes this the full universe {0, ..., capacity-1}, reusing storage.
+  void ResetAll(int capacity);
+
+  /// *this = a ∪ b in a single word pass, reusing storage.
+  void AssignUnionOf(const VertexSet& a, const VertexSet& b);
+
+  /// *this = complement of s in a single word pass, reusing storage.
+  void AssignComplementOf(const VertexSet& s);
+
+  void Insert(int v) {
+    uint64_t& word = words_[v >> 6];
+    const uint64_t bit = uint64_t{1} << (v & 63);
+    if ((word & bit) == 0) {
+      word |= bit;
+      if (hash_valid_) hash_ ^= MixVertex(v);
+    }
   }
+  void Erase(int v) {
+    uint64_t& word = words_[v >> 6];
+    const uint64_t bit = uint64_t{1} << (v & 63);
+    if ((word & bit) != 0) {
+      word &= ~bit;
+      if (hash_valid_) hash_ ^= MixVertex(v);
+    }
+  }
+  bool Contains(int v) const { return (words_[v >> 6] >> (v & 63)) & 1; }
 
   bool Empty() const;
   int Count() const;
@@ -75,12 +106,30 @@ class VertexSet {
     }
   }
 
+  /// Applies `fn(v)` in increasing order while it returns true. Returns
+  /// false iff the iteration was cut short.
+  template <typename Fn>
+  bool ForEachWhile(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        int v = static_cast<int>(w * 64) + __builtin_ctzll(bits);
+        if (!fn(v)) return false;
+        bits &= bits - 1;
+      }
+    }
+    return true;
+  }
+
   std::vector<int> ToVector() const;
 
   /// Renders as "{v0,v1,...}".
   std::string ToString() const;
 
   bool operator==(const VertexSet& other) const {
+    if (hash_valid_ && other.hash_valid_ && hash_ != other.hash_) {
+      return false;
+    }
     return words_ == other.words_;
   }
   bool operator!=(const VertexSet& other) const { return !(*this == other); }
@@ -90,15 +139,40 @@ class VertexSet {
     return words_ < other.words_;
   }
 
-  size_t Hash() const;
+  /// Order-independent 64-bit hash of the element set. Cached: repeated
+  /// calls on an unchanged set are O(1).
+  uint64_t Hash() const {
+    if (!hash_valid_) RecomputeHash();
+    return hash_;
+  }
 
  private:
+  // The component scanner fuses its BFS update into single passes over the
+  // raw words (and re-flags the hash cache itself).
+  friend class ComponentScanner;
+
+  static uint64_t MixVertex(int v) {
+    // SplitMix64 finalizer: decorrelates nearby vertex ids.
+    uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void RecomputeHash() const;
+
+  static constexpr uint64_t kEmptyHash = 0xcbf29ce484222325ULL;
+
   int capacity_ = 0;
   std::vector<uint64_t> words_;
+  mutable uint64_t hash_ = kEmptyHash;
+  mutable bool hash_valid_ = true;
 };
 
 struct VertexSetHash {
-  size_t operator()(const VertexSet& s) const { return s.Hash(); }
+  size_t operator()(const VertexSet& s) const {
+    return static_cast<size_t>(s.Hash());
+  }
 };
 
 }  // namespace mintri

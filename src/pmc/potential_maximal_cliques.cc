@@ -6,45 +6,75 @@
 
 namespace mintri {
 
-bool IsPmc(const Graph& g, const VertexSet& omega) {
-  if (omega.Empty()) return false;
-  const int n = g.NumVertices();
-
-  std::vector<VertexSet> seps;  // N(C) per component of G \ Ω
-  for (const VertexSet& c : g.ComponentsAfterRemoving(omega)) {
-    VertexSet s = g.NeighborhoodOfSet(c);
-    if (s == omega) return false;  // full component: Ω would not be maximal
-    seps.push_back(std::move(s));
-  }
-
-  // Cliquish test: every non-adjacent pair within Ω must be covered by some
-  // component neighborhood. cover_mask[v] = bitset over `seps` containing v.
-  const size_t words = (seps.size() + 63) / 64;
-  std::vector<std::vector<uint64_t>> cover_mask(n,
-                                                std::vector<uint64_t>(words));
-  for (size_t i = 0; i < seps.size(); ++i) {
-    seps[i].ForEach(
-        [&](int v) { cover_mask[v][i >> 6] |= uint64_t{1} << (i & 63); });
-  }
-  std::vector<int> members = omega.ToVector();
-  for (size_t a = 0; a < members.size(); ++a) {
-    for (size_t b = a + 1; b < members.size(); ++b) {
-      int x = members[a], y = members[b];
-      if (g.HasEdge(x, y)) continue;
-      bool covered = false;
-      for (size_t w = 0; w < words; ++w) {
-        if ((cover_mask[x][w] & cover_mask[y][w]) != 0) {
-          covered = true;
-          break;
-        }
-      }
-      if (!covered) return false;
-    }
-  }
-  return true;
-}
-
 namespace {
+
+// Scratch-reusing IsPmc tester. One component scan delivers every N(C)
+// together with the full-component check; the cliquish test runs over a
+// flattened cover bitmap ([v * words + w] instead of one heap vector per
+// vertex). Keep one tester alive across candidate checks — its buffers are
+// recycled — and use one tester per thread.
+class PmcTester {
+ public:
+  bool Test(const Graph& g, const VertexSet& omega) {
+    if (omega.Empty()) return false;
+    const int n = g.NumVertices();
+
+    // N(C) per component of G \ Ω, stopping early on a full component
+    // (Ω would not be maximal).
+    num_seps_ = 0;
+    const bool no_full_component =
+        scanner_.ForEachComponentWhile(
+            g, omega, [&](const VertexSet&, const VertexSet& nb) {
+              if (nb == omega) return false;
+              if (num_seps_ < seps_.size()) {
+                seps_[num_seps_] = nb;  // reuses the element's buffer
+              } else {
+                seps_.push_back(nb);
+              }
+              ++num_seps_;
+              return true;
+            });
+    if (!no_full_component) return false;
+
+    // Cliquish test: every non-adjacent pair within Ω must be covered by
+    // some component neighborhood. cover_[v * words + w] = bitset over
+    // `seps_` containing v.
+    const size_t words = (num_seps_ + 63) / 64;
+    cover_.assign(static_cast<size_t>(n) * words, 0);
+    for (size_t i = 0; i < num_seps_; ++i) {
+      seps_[i].ForEach([&](int v) {
+        cover_[static_cast<size_t>(v) * words + (i >> 6)] |=
+            uint64_t{1} << (i & 63);
+      });
+    }
+    members_.clear();
+    omega.ForEach([&](int v) { members_.push_back(v); });
+    for (size_t a = 0; a < members_.size(); ++a) {
+      for (size_t b = a + 1; b < members_.size(); ++b) {
+        const int x = members_[a], y = members_[b];
+        if (g.HasEdge(x, y)) continue;
+        const uint64_t* cx = cover_.data() + static_cast<size_t>(x) * words;
+        const uint64_t* cy = cover_.data() + static_cast<size_t>(y) * words;
+        bool covered = false;
+        for (size_t w = 0; w < words; ++w) {
+          if ((cx[w] & cy[w]) != 0) {
+            covered = true;
+            break;
+          }
+        }
+        if (!covered) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  ComponentScanner scanner_;
+  std::vector<VertexSet> seps_;
+  size_t num_seps_ = 0;
+  std::vector<uint64_t> cover_;
+  std::vector<int> members_;
+};
 
 // State of the vertex-incremental enumeration, over the relabeled graph
 // whose vertex i is the i-th vertex in the insertion order.
@@ -59,9 +89,8 @@ class IncrementalEnumerator {
     const int n = g_.NumVertices();
     if (n == 0) return result;
 
-    Graph prefix(1);  // G_1: single vertex 0
+    // PMC(G_1) for the single-vertex prefix.
     std::vector<VertexSet> pmcs = {VertexSet::Single(1, 0)};
-    std::vector<VertexSet> prev_seps;  // MinSep(G_1) = {}
 
     for (int i = 1; i < n; ++i) {
       // Build G_{i+1} over vertices 0..i.
@@ -79,13 +108,11 @@ class IncrementalEnumerator {
         return result;
       }
       std::vector<VertexSet> next_pmcs;
-      if (!Step(prefix, next, i, pmcs, seps.separators, &next_pmcs)) {
+      if (!Step(next, i, pmcs, seps.separators, &next_pmcs)) {
         result.status = EnumerationStatus::kTruncated;
         return result;
       }
-      prefix = std::move(next);
       pmcs = std::move(next_pmcs);
-      prev_seps = std::move(seps.separators);
     }
     result.pmcs = std::move(pmcs);
     result.status = EnumerationStatus::kComplete;
@@ -95,16 +122,15 @@ class IncrementalEnumerator {
  private:
   // Computes PMC(G_{i+1}) from PMC(G_i) and MinSep(G_{i+1}); vertex `a = i`
   // is the new vertex. Returns false when a limit was hit.
-  bool Step(const Graph& prev, const Graph& next, int a,
-            const std::vector<VertexSet>& prev_pmcs,
+  bool Step(const Graph& next, int a, const std::vector<VertexSet>& prev_pmcs,
             const std::vector<VertexSet>& next_seps,
             std::vector<VertexSet>* out) {
     const int n1 = next.NumVertices();
-    std::unordered_set<VertexSet, VertexSetHash> tried;
+    tried_.clear();
     auto consider = [&](VertexSet omega) -> bool {
       if (omega.Empty() || omega.Count() > options_.max_size) return true;
-      if (!tried.insert(omega).second) return true;
-      if (IsPmc(next, omega)) {
+      if (!tried_.insert(omega).second) return true;
+      if (tester_.Test(next, omega)) {
         out->push_back(std::move(omega));
         if (out->size() > options_.limits.max_results) return false;
       }
@@ -116,7 +142,6 @@ class IncrementalEnumerator {
       small.ForEach([&](int v) { big.Insert(v); });
       return big;
     };
-    (void)prev;
 
     // Case 1 & 2: PMCs of the prefix, with and without the new vertex.
     for (const VertexSet& p : prev_pmcs) {
@@ -146,14 +171,15 @@ class IncrementalEnumerator {
     }
     for (const VertexSet& s : next_seps) {
       if (deadline_.Expired()) return false;
-      std::vector<VertexSet> components = next.ComponentsAfterRemoving(s);
+      scanner_.Components(next, s, &components_);
       for (const VertexSet* t : t_list) {
         if (*t == s) continue;
-        for (const VertexSet& c : components) {
-          VertexSet extra = t->Intersect(c);
-          if (extra.Empty()) continue;
-          VertexSet omega = s.Union(extra);
-          if (!consider(std::move(omega))) return false;
+        for (const VertexSet& c : components_) {
+          extra_ = *t;
+          extra_.IntersectWith(c);
+          if (extra_.Empty()) continue;
+          extra_.UnionWith(s);
+          if (!consider(extra_)) return false;
         }
       }
     }
@@ -163,9 +189,21 @@ class IncrementalEnumerator {
   const Graph& g_;
   const PmcOptions& options_;
   Deadline deadline_;
+
+  // Reused scratch.
+  PmcTester tester_;
+  ComponentScanner scanner_;
+  std::vector<VertexSet> components_;
+  VertexSet extra_;
+  std::unordered_set<VertexSet, VertexSetHash> tried_;
 };
 
 }  // namespace
+
+bool IsPmc(const Graph& g, const VertexSet& omega) {
+  PmcTester tester;
+  return tester.Test(g, omega);
+}
 
 PmcResult ListPotentialMaximalCliques(const Graph& g,
                                       const std::vector<VertexSet>& separators,

@@ -6,14 +6,17 @@ namespace mintri {
 
 std::vector<Block> BlocksOfSeparator(const Graph& g, const VertexSet& s) {
   std::vector<Block> blocks;
-  for (VertexSet& c : g.ComponentsAfterRemoving(s)) {
+  ComponentScanner scanner;
+  // One scan delivers each component together with its neighborhood, so the
+  // fullness test needs no extra NeighborhoodOfSet pass.
+  scanner.ForEachComponent(g, s, [&](const VertexSet& c, const VertexSet& nb) {
     Block b;
-    b.full = (g.NeighborhoodOfSet(c) == s);
+    b.full = (nb == s);
     b.separator = s;
     b.vertices = s.Union(c);
-    b.component = std::move(c);
+    b.component = c;
     blocks.push_back(std::move(b));
-  }
+  });
   return blocks;
 }
 

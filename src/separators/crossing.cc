@@ -6,10 +6,14 @@ namespace mintri {
 
 ComponentLabeling::ComponentLabeling(const Graph& g, const VertexSet& removed)
     : labels_(g.NumVertices(), -1) {
-  for (const VertexSet& c : g.ComponentsAfterRemoving(removed)) {
-    c.ForEach([&](int v) { labels_[v] = num_components_; });
-    ++num_components_;
-  }
+  ComponentScanner scanner;
+  scanner.ForEachComponent(g, removed,
+                           [&](const VertexSet& c, const VertexSet&) {
+                             c.ForEach([&](int v) {
+                               labels_[v] = num_components_;
+                             });
+                             ++num_components_;
+                           });
 }
 
 bool ComponentLabeling::IsParallelTo(const VertexSet& t) const {

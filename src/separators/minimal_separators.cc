@@ -5,48 +5,90 @@ namespace mintri {
 bool IsMinimalSeparator(const Graph& g, const VertexSet& s) {
   if (s.Empty()) return false;
   int full_components = 0;
-  for (const VertexSet& c : g.ComponentsAfterRemoving(s)) {
-    if (g.NeighborhoodOfSet(c) == s) {
-      if (++full_components >= 2) return true;
-    }
-  }
-  return false;
+  ComponentScanner scanner;
+  scanner.ForEachComponentWhile(
+      g, s, [&](const VertexSet&, const VertexSet& nb) {
+        if (nb == s && ++full_components >= 2) return false;
+        return true;
+      });
+  return full_components >= 2;
 }
 
 MinimalSeparatorEnumerator::MinimalSeparatorEnumerator(const Graph& g,
-                                                       int max_size)
-    : g_(g), max_size_(max_size) {
-  // Seeding: the neighborhoods of the components of G \ N[v] are minimal
-  // separators ("close separators" of Berry et al.).
-  for (int v = 0; v < g_.NumVertices(); ++v) {
-    for (const VertexSet& c :
-         g_.ComponentsAfterRemoving(g_.ClosedNeighborhood(v))) {
-      Offer(g_.NeighborhoodOfSet(c));
-    }
-  }
-}
+                                                       int max_size,
+                                                       const Deadline* deadline)
+    : g_(g),
+      max_size_(max_size),
+      deadline_(deadline),
+      slots_(256, kEmptySlot),
+      slot_mask_(255) {}
 
 MinimalSeparatorEnumerator::MinimalSeparatorEnumerator(const Graph& g)
     : MinimalSeparatorEnumerator(g, g.NumVertices()) {}
 
-void MinimalSeparatorEnumerator::Offer(VertexSet s) {
-  if (s.Empty() || s.Count() > max_size_) return;
-  if (seen_.insert(s).second) queue_.push_back(std::move(s));
+void MinimalSeparatorEnumerator::Offer(const VertexSet& s) {
+  if (s.Empty()) return;
+  if (max_size_ < g_.NumVertices() && s.Count() > max_size_) return;
+  const uint64_t h = s.Hash();
+  size_t i = h & slot_mask_;
+  while (true) {
+    const uint32_t slot = slots_[i];
+    if (slot == kEmptySlot) break;
+    if (hashes_[slot] == h && arena_[slot] == s) return;  // already seen
+    i = (i + 1) & slot_mask_;
+  }
+  slots_[i] = static_cast<uint32_t>(arena_.size());
+  arena_.push_back(s);
+  hashes_.push_back(h);
+  // Keep the load factor below 1/2 so linear probing stays short.
+  if (arena_.size() * 2 >= slots_.size()) GrowSlots();
+}
+
+void MinimalSeparatorEnumerator::GrowSlots() {
+  slots_.assign(slots_.size() * 2, kEmptySlot);
+  slot_mask_ = slots_.size() - 1;
+  for (size_t idx = 0; idx < arena_.size(); ++idx) {
+    size_t i = hashes_[idx] & slot_mask_;
+    while (slots_[i] != kEmptySlot) i = (i + 1) & slot_mask_;
+    slots_[i] = static_cast<uint32_t>(idx);
+  }
 }
 
 std::optional<VertexSet> MinimalSeparatorEnumerator::Next() {
-  if (queue_.empty()) return std::nullopt;
-  VertexSet s = std::move(queue_.front());
-  queue_.pop_front();
-  // Expansion: for each x in S, the neighborhoods of the components of
-  // G \ (S ∪ N(x)) are minimal separators.
-  s.ForEach([&](int x) {
-    VertexSet removed = s.Union(g_.Neighbors(x));
-    for (const VertexSet& c : g_.ComponentsAfterRemoving(removed)) {
-      Offer(g_.NeighborhoodOfSet(c));
+  // Lazy seeding: only scan the next vertex's close separators (components
+  // of G \ N[v], Berry et al.) once the queue has run dry. This keeps the
+  // first result cheap, which is what the CKK baseline banks on.
+  while (head_ >= arena_.size() && seed_cursor_ < g_.NumVertices()) {
+    if (DeadlineExpired()) {
+      truncated_ = true;
+      return std::nullopt;
     }
+    const int v = seed_cursor_++;
+    removed_ = g_.Neighbors(v);
+    removed_.Insert(v);
+    scanner_.ForEachComponent(
+        g_, removed_,
+        [&](const VertexSet&, const VertexSet& nb) { Offer(nb); });
+  }
+  if (head_ >= arena_.size()) return std::nullopt;
+
+  const size_t index = head_++;
+  // Copy to scratch: Offer() may grow the arena and move its elements while
+  // we are still iterating over the separator being expanded.
+  current_ = arena_[index];
+  // Expansion: for each x in S, the neighborhoods of the components of
+  // G \ (S ∪ N(x)) are minimal separators. The deadline is polled per
+  // vertex so one huge expansion cannot blow past the time budget.
+  const bool completed = current_.ForEachWhile([&](int x) {
+    if (DeadlineExpired()) return false;
+    removed_.AssignUnionOf(current_, g_.Neighbors(x));
+    scanner_.ForEachComponent(
+        g_, removed_,
+        [&](const VertexSet&, const VertexSet& nb) { Offer(nb); });
+    return true;
   });
-  return s;
+  if (!completed) truncated_ = true;
+  return arena_[index];
 }
 
 namespace {
@@ -55,20 +97,28 @@ MinimalSeparatorsResult ListImpl(const Graph& g, int max_size,
                                  const EnumerationLimits& limits) {
   Deadline deadline(limits.time_limit_seconds);
   MinimalSeparatorsResult result;
-  MinimalSeparatorEnumerator enumerator(g, max_size);
+  MinimalSeparatorEnumerator enumerator(g, max_size, &deadline);
   while (true) {
-    if (result.separators.size() >= limits.max_results ||
-        deadline.Expired()) {
-      if (!enumerator.Exhausted()) {
+    if (deadline.Expired()) {
+      if (!enumerator.Exhausted() || enumerator.Truncated()) {
         result.status = EnumerationStatus::kTruncated;
       }
       return result;
     }
     std::optional<VertexSet> s = enumerator.Next();
     if (!s.has_value()) break;
+    // The count limit is checked after pulling one more result: with lazy
+    // seeding, Exhausted() alone cannot tell "cap hit exactly at the end of
+    // the answer set" apart from a genuine truncation, but one extra Next()
+    // can — nullopt means the cap-sized output was already complete.
+    if (result.separators.size() >= limits.max_results) {
+      result.status = EnumerationStatus::kTruncated;
+      return result;
+    }
     result.separators.push_back(std::move(*s));
   }
-  result.status = EnumerationStatus::kComplete;
+  result.status = enumerator.Truncated() ? EnumerationStatus::kTruncated
+                                         : EnumerationStatus::kComplete;
   return result;
 }
 

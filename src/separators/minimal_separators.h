@@ -2,10 +2,9 @@
 #define MINTRI_SEPARATORS_MINIMAL_SEPARATORS_H_
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <limits>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "graph/graph.h"
@@ -59,25 +58,77 @@ std::vector<VertexSet> MinimalSeparatorsBruteForce(const Graph& g);
 /// stream lazily (it must not pay the full enumeration upfront — having no
 /// initialization step is its selling point in Table 2), and the batch
 /// functions above are thin wrappers.
+///
+/// Internals are built for throughput: every distinct separator lives in an
+/// arena (discovery order) that doubles as the work queue, deduplication is
+/// an open-addressing table of arena indices keyed on the sets' cached
+/// 64-bit hashes, seeding is lazy (a seed vertex is only processed once the
+/// queue runs dry, so the first result is cheap), and the expansion step
+/// reuses scanner/scratch buffers instead of allocating per call.
 class MinimalSeparatorEnumerator {
  public:
-  /// `g` must outlive the enumerator. Separators larger than `max_size` are
-  /// neither reported nor expanded (use g.NumVertices() for no bound).
-  MinimalSeparatorEnumerator(const Graph& g, int max_size);
+  /// `g` must outlive the enumerator (as must `deadline` when non-null).
+  /// Separators larger than `max_size` are neither reported nor expanded
+  /// (use g.NumVertices() for no bound). When a deadline is supplied it is
+  /// polled inside the per-vertex expansion loop, so even a single huge
+  /// expansion cannot blow past the time budget; once it expires the stream
+  /// stops early and Truncated() turns true.
+  MinimalSeparatorEnumerator(const Graph& g, int max_size,
+                             const Deadline* deadline = nullptr);
   explicit MinimalSeparatorEnumerator(const Graph& g);
 
-  /// The next minimal separator, or std::nullopt when exhausted.
+  /// The next minimal separator, or std::nullopt when exhausted (or when
+  /// the deadline expired; distinguish via Truncated()).
   std::optional<VertexSet> Next();
 
-  bool Exhausted() const { return queue_.empty(); }
+  /// True when the stream has nothing further to produce: every discovered
+  /// separator was reported and every seed vertex processed.
+  bool Exhausted() const {
+    return head_ >= arena_.size() && seed_cursor_ >= g_.NumVertices();
+  }
+
+  /// True iff the deadline cut seeding or an expansion short, i.e. the
+  /// stream may be incomplete even once it stops producing.
+  bool Truncated() const { return truncated_; }
+
+  /// Number of distinct minimal separators discovered so far (reported or
+  /// still queued).
+  size_t NumDiscovered() const { return arena_.size(); }
 
  private:
-  void Offer(VertexSet s);
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+
+  bool DeadlineExpired() const {
+    return deadline_ != nullptr && deadline_->Expired();
+  }
+
+  // Inserts s into the arena/queue unless seen or over the size bound.
+  void Offer(const VertexSet& s);
+
+  // Doubles the slot table and re-probes every arena entry.
+  void GrowSlots();
 
   const Graph& g_;
   int max_size_;
-  std::deque<VertexSet> queue_;
-  std::unordered_set<VertexSet, VertexSetHash> seen_;
+  const Deadline* deadline_;
+  bool truncated_ = false;
+
+  // Arena of all distinct separators in discovery order. Entries at index
+  // >= head_ are the pending queue; Next() reports arena_[head_] and
+  // advances, so queue entries are indices, never copies.
+  std::vector<VertexSet> arena_;
+  std::vector<uint64_t> hashes_;  // cached hash per arena entry
+  size_t head_ = 0;
+  int seed_cursor_ = 0;  // next vertex whose close separators to seed
+
+  // Open-addressing (linear probing) table of arena indices.
+  std::vector<uint32_t> slots_;
+  size_t slot_mask_ = 0;
+
+  // Reused scratch.
+  ComponentScanner scanner_;
+  VertexSet current_;  // the separator being expanded
+  VertexSet removed_;  // S ∪ N(x) during expansion; N[v] during seeding
 };
 
 }  // namespace mintri

@@ -91,5 +91,30 @@ TEST(CliTest, StateSpaceCost) {
   EXPECT_NE(r.out.find("cost=16"), std::string::npos) << r.out;
 }
 
+TEST(CliTest, BenchHelpAndArgumentValidation) {
+  CliResult help = Invoke({"bench", "--help"}, "");
+  EXPECT_EQ(help.code, 0) << help.err;
+  EXPECT_NE(help.out.find("usage: mintri bench"), std::string::npos)
+      << help.out;
+  EXPECT_NE(help.out.find("BENCH_core.json"), std::string::npos);
+
+  EXPECT_EQ(Invoke({"bench", "bogus-suite"}, "").code, 1);
+  EXPECT_EQ(Invoke({"bench", "--bogus-flag"}, "").code, 1);
+}
+
+TEST(CliTest, BenchSmokeEmitsSchemaShapedJson) {
+  // The smallest real run: one suite, smoke-trimmed families, JSON on
+  // stdout. Spot-checks the schema keys the validator enforces.
+  CliResult r = Invoke({"bench", "minseps", "--smoke", "--quiet", "--out=-"},
+                       "");
+  EXPECT_EQ(r.code, 0) << r.err;
+  for (const char* key :
+       {"\"schema_version\": 1", "\"git_sha\"", "\"time_scale\"",
+        "\"smoke\": true", "\"suites\": [\"minseps\"]", "\"entries\"",
+        "\"results_per_sec\"", "\"wall_ms\"", "\"status\""}) {
+    EXPECT_NE(r.out.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
 }  // namespace
 }  // namespace mintri

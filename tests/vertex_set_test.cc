@@ -95,5 +95,69 @@ TEST(VertexSetTest, SingleAndFromVector) {
   EXPECT_EQ(VertexSet::FromVector(5, {0, 2}), VertexSet::Of(5, {0, 2}));
 }
 
+TEST(VertexSetTest, HashIsContentDefinedAcrossConstructionPaths) {
+  // The same element set must hash identically no matter how it was built:
+  // incremental Insert/Erase (cache maintained in place), bulk word ops
+  // (cache invalidated, recomputed on demand), or fused assignments.
+  VertexSet by_insert(70);
+  by_insert.Insert(1);
+  by_insert.Insert(65);
+  by_insert.Insert(9);
+  by_insert.Erase(9);
+
+  VertexSet by_ops = VertexSet::Of(70, {1, 2, 65});
+  by_ops.MinusWith(VertexSet::Of(70, {2}));
+
+  VertexSet by_union(70);
+  by_union.AssignUnionOf(VertexSet::Of(70, {1}), VertexSet::Of(70, {65}));
+
+  EXPECT_EQ(by_insert, by_ops);
+  EXPECT_EQ(by_insert.Hash(), by_ops.Hash());
+  EXPECT_EQ(by_insert.Hash(), by_union.Hash());
+
+  // Erase back to empty matches a fresh empty set.
+  by_insert.Erase(1);
+  by_insert.Erase(65);
+  EXPECT_EQ(by_insert.Hash(), VertexSet(70).Hash());
+
+  // Duplicate Insert/Erase must not perturb the maintained hash.
+  VertexSet dup = VertexSet::Of(70, {4});
+  uint64_t h = dup.Hash();
+  dup.Insert(4);
+  dup.Erase(5);
+  EXPECT_EQ(dup.Hash(), h);
+}
+
+TEST(VertexSetTest, ResetAndAssignHelpers) {
+  VertexSet s = VertexSet::Of(130, {0, 64, 129});
+  s.Reset(130);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.capacity(), 130);
+
+  s.ResetAll(65);
+  EXPECT_EQ(s.Count(), 65);
+  EXPECT_EQ(s, VertexSet::All(65));
+
+  VertexSet c;
+  c.AssignComplementOf(VertexSet::Of(65, {0, 64}));
+  EXPECT_EQ(c, VertexSet::Of(65, {0, 64}).Complement());
+  EXPECT_EQ(c.Hash(), VertexSet::Of(65, {0, 64}).Complement().Hash());
+
+  VertexSet u;
+  u.AssignUnionOf(VertexSet::Of(70, {3, 69}), VertexSet::Of(70, {4}));
+  EXPECT_EQ(u, VertexSet::Of(70, {3, 4, 69}));
+}
+
+TEST(VertexSetTest, ForEachWhileStopsEarly) {
+  VertexSet s = VertexSet::Of(200, {0, 7, 64, 128, 199});
+  std::vector<int> seen;
+  EXPECT_FALSE(s.ForEachWhile([&](int v) {
+    seen.push_back(v);
+    return v < 64;
+  }));
+  EXPECT_EQ(seen, (std::vector<int>{0, 7, 64}));
+  EXPECT_TRUE(s.ForEachWhile([](int) { return true; }));
+}
+
 }  // namespace
 }  // namespace mintri
