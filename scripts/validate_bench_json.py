@@ -26,6 +26,7 @@ ENTRY = {
     "graph": str,
     "n": int,
     "m": int,
+    "threads": int,
     "count": int,
     "wall_ms": float,
     "results_per_sec": float,
@@ -93,6 +94,8 @@ def main():
             fail(f"{where}: unknown status {entry['status']!r}")
         if entry["n"] < 0 or entry["m"] < 0 or entry["count"] < 0:
             fail(f"{where}: negative n/m/count")
+        if entry["threads"] < 1:
+            fail(f"{where}: threads must be >= 1, got {entry['threads']}")
         if entry["wall_ms"] < 0 or entry["results_per_sec"] < 0:
             fail(f"{where}: negative timing")
 

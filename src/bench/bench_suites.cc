@@ -7,6 +7,7 @@
 
 #include "cost/standard_costs.h"
 #include "enumeration/ranked_forest.h"
+#include "parallel/thread_pool.h"
 #include "pmc/potential_maximal_cliques.h"
 #include "separators/minimal_separators.h"
 #include "util/timer.h"
@@ -30,6 +31,7 @@ const char* const kSmokeFamilies[] = {"Grids", "CSP", "TPC-H"};
 struct SuiteContext {
   bool smoke = false;
   double budget_factor = 1.0;
+  int threads = 1;
 };
 
 bool SmokeIncludesFamily(const std::string& name) {
@@ -39,7 +41,7 @@ bool SmokeIncludesFamily(const std::string& name) {
   return false;
 }
 
-BenchEntry MakeEntry(const std::string& suite,
+BenchEntry MakeEntry(const std::string& suite, const SuiteContext& ctx,
                      const workloads::DatasetFamily& family,
                      const workloads::DatasetGraph& dg) {
   BenchEntry e;
@@ -48,6 +50,7 @@ BenchEntry MakeEntry(const std::string& suite,
   e.graph = dg.name;
   e.n = dg.graph.NumVertices();
   e.m = dg.graph.NumEdges();
+  e.threads = ctx.threads;
   return e;
 }
 
@@ -62,10 +65,11 @@ void FinishEntry(BenchEntry* e, long long count, double wall_seconds,
 BenchEntry RunMinSeps(const SuiteContext& ctx,
                       const workloads::DatasetFamily& family,
                       const workloads::DatasetGraph& dg) {
-  BenchEntry e = MakeEntry("minseps", family, dg);
+  BenchEntry e = MakeEntry("minseps", ctx, family, dg);
   EnumerationLimits limits;
   limits.time_limit_seconds = MinSepBudget() * ctx.budget_factor;
   limits.max_results = kMaxSeparators;
+  limits.num_threads = ctx.threads;
   WallTimer timer;
   MinimalSeparatorsResult r = ListMinimalSeparators(dg.graph, limits);
   FinishEntry(&e, static_cast<long long>(r.separators.size()),
@@ -78,10 +82,11 @@ BenchEntry RunMinSeps(const SuiteContext& ctx,
 BenchEntry RunPmc(const SuiteContext& ctx,
                   const workloads::DatasetFamily& family,
                   const workloads::DatasetGraph& dg) {
-  BenchEntry e = MakeEntry("pmc", family, dg);
+  BenchEntry e = MakeEntry("pmc", ctx, family, dg);
   EnumerationLimits sep_limits;
   sep_limits.time_limit_seconds = MinSepBudget() * ctx.budget_factor;
   sep_limits.max_results = kMaxSeparators;
+  sep_limits.num_threads = ctx.threads;
   WallTimer timer;
   MinimalSeparatorsResult seps = ListMinimalSeparators(dg.graph, sep_limits);
   if (seps.status != EnumerationStatus::kComplete) {
@@ -90,6 +95,7 @@ BenchEntry RunPmc(const SuiteContext& ctx,
   }
   PmcOptions options;
   options.limits.time_limit_seconds = PmcBudget() * ctx.budget_factor;
+  options.limits.num_threads = ctx.threads;
   timer.Reset();
   PmcResult pmcs =
       ListPotentialMaximalCliques(dg.graph, seps.separators, options);
@@ -102,12 +108,14 @@ BenchEntry RunPmc(const SuiteContext& ctx,
 BenchEntry RunEnum(const SuiteContext& ctx,
                    const workloads::DatasetFamily& family,
                    const workloads::DatasetGraph& dg) {
-  BenchEntry e = MakeEntry("enum", family, dg);
+  BenchEntry e = MakeEntry("enum", ctx, family, dg);
   const double budget = EnumBudget() * ctx.budget_factor;
   ContextOptions options;
   options.separator_limits.time_limit_seconds = budget;
   options.separator_limits.max_results = kMaxSeparators;
+  options.separator_limits.num_threads = ctx.threads;
   options.pmc_limits.time_limit_seconds = budget;
+  options.pmc_limits.num_threads = ctx.threads;
   WidthCost cost;
   WallTimer timer;
   RankedForestEnumerator enumerator(dg.graph, cost, CostComposition::kMax,
@@ -214,27 +222,42 @@ BenchReport RunBenchSuites(const BenchRunOptions& options,
   ctx.budget_factor = options.smoke ? kSmokeBudgetFactor : 1.0;
 
   for (const std::string& suite : report.suites) {
-    for (const workloads::DatasetFamily& family : workloads::AllFamilies()) {
-      if (ctx.smoke && !SmokeIncludesFamily(family.name)) continue;
-      int used = 0;
-      for (const workloads::DatasetGraph& dg : family.graphs) {
-        if (ctx.smoke && used >= kSmokeGraphsPerFamily) break;
-        ++used;
-        BenchEntry entry;
-        if (suite == "minseps") {
-          entry = RunMinSeps(ctx, family, dg);
-        } else if (suite == "pmc") {
-          entry = RunPmc(ctx, family, dg);
-        } else {
-          entry = RunEnum(ctx, family, dg);
+    // The parallel-capable suites sweep serial vs. all-hardware so every
+    // report carries its own baseline; --threads=N pins a single point. The
+    // enum suite's ranked phase is serial, so it only runs once.
+    std::vector<int> thread_points;
+    if (options.threads > 0) {
+      thread_points = {options.threads};
+    } else if (suite == "enum") {
+      thread_points = {1};
+    } else {
+      thread_points = {1, parallel::DefaultParallelThreads()};
+    }
+    for (int threads : thread_points) {
+      ctx.threads = threads;
+      for (const workloads::DatasetFamily& family :
+           workloads::AllFamilies()) {
+        if (ctx.smoke && !SmokeIncludesFamily(family.name)) continue;
+        int used = 0;
+        for (const workloads::DatasetGraph& dg : family.graphs) {
+          if (ctx.smoke && used >= kSmokeGraphsPerFamily) break;
+          ++used;
+          BenchEntry entry;
+          if (suite == "minseps") {
+            entry = RunMinSeps(ctx, family, dg);
+          } else if (suite == "pmc") {
+            entry = RunPmc(ctx, family, dg);
+          } else {
+            entry = RunEnum(ctx, family, dg);
+          }
+          if (progress != nullptr) {
+            *progress << suite << "[t=" << threads << "] " << family.name
+                      << "/" << dg.name << ": " << entry.count
+                      << " results in " << FormatDouble(entry.wall_ms)
+                      << " ms (" << entry.status << ")\n";
+          }
+          report.entries.push_back(std::move(entry));
         }
-        if (progress != nullptr) {
-          *progress << suite << " " << family.name << "/" << dg.name << ": "
-                    << entry.count << " results in " << FormatDouble(
-                           entry.wall_ms) << " ms (" << entry.status
-                    << ")\n";
-        }
-        report.entries.push_back(std::move(entry));
       }
     }
   }
@@ -265,7 +288,7 @@ void WriteBenchJson(const BenchReport& report, std::ostream& out) {
     out << ", \"graph\": ";
     AppendJsonString(e.graph, out);
     out << ", \"n\": " << e.n << ", \"m\": " << e.m
-        << ", \"count\": " << e.count
+        << ", \"threads\": " << e.threads << ", \"count\": " << e.count
         << ", \"wall_ms\": " << FormatDouble(e.wall_ms)
         << ", \"results_per_sec\": " << FormatDouble(e.results_per_sec)
         << ", \"status\": ";

@@ -32,6 +32,7 @@ struct BenchEntry {
   std::string graph;   // graph name within the family
   int n = 0;           // vertices
   int m = 0;           // edges
+  int threads = 1;     // enumeration worker threads for this run
   long long count = 0;          // results produced within budget
   double wall_ms = 0.0;         // wall time spent on this graph
   double results_per_sec = 0.0;  // count / wall seconds
@@ -54,6 +55,11 @@ struct BenchRunOptions {
   /// Smoke mode: a few cheap families, capped graphs per family, and
   /// budgets scaled down — sized for a CI gate, not for trend analysis.
   bool smoke = false;
+  /// Worker threads. 0 (the default) sweeps the minseps/pmc suites over
+  /// {1, parallel::DefaultParallelThreads()} so the report always carries a
+  /// serial baseline next to the parallel numbers; a positive value runs
+  /// every suite at exactly that thread count.
+  int threads = 0;
 };
 
 const std::vector<std::string>& AllSuiteNames();

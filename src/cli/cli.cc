@@ -10,6 +10,7 @@
 #include "enumeration/ckk.h"
 #include "enumeration/ranked_forest.h"
 #include "graph/graph_io.h"
+#include "parallel/thread_pool.h"
 
 namespace mintri {
 
@@ -22,6 +23,7 @@ struct Options {
   int bound = -1;
   std::string format = "summary";
   double time_limit = 30.0;
+  int threads = 1;
   bool stats = false;
   bool help = false;
   std::string file;  // empty: stdin
@@ -40,6 +42,8 @@ constexpr char kUsage[] =
     "  --bound=B          width bound (MinTriangB contexts)\n"
     "  --format=summary|td   per-result line, or PACE .td blocks\n"
     "  --time-limit=SEC   initialization budget in seconds (default 30)\n"
+    "  --threads=N        worker threads for the separator/PMC enumeration\n"
+    "                     during initialization (default 1 = serial)\n"
     "  --stats            print initialization statistics to stderr\n"
     "  --help             show this message and exit\n";
 
@@ -60,6 +64,21 @@ bool ParseNumber(const std::string& value, double* out) {
   char* end = nullptr;
   *out = std::strtod(value.c_str(), &end);
   return end != value.c_str() && *end == '\0';
+}
+
+// A thread count must land in [1, parallel::kMaxRunThreads] — the same
+// ceiling the engines clamp to, so --threads=N never lies about the worker
+// count. The range check runs on the wide parse (no silent int truncation
+// for values like 2^32+1).
+constexpr long long kMaxThreads = parallel::kMaxRunThreads;
+
+bool ParseThreads(const std::string& value, int* out) {
+  long long wide;
+  if (!ParseNumber(value, &wide) || wide < 1 || wide > kMaxThreads) {
+    return false;
+  }
+  *out = static_cast<int>(wide);
+  return true;
 }
 
 bool ParseArgs(const std::vector<std::string>& args, Options* options,
@@ -90,6 +109,12 @@ bool ParseArgs(const std::vector<std::string>& args, Options* options,
         err << "invalid value for --time-limit: " << *time_limit << "\n";
         return false;
       }
+    } else if (auto threads = value_of("--threads=")) {
+      if (!ParseThreads(*threads, &options->threads)) {
+        err << "invalid value for --threads: " << *threads
+            << " (expected an integer in 1.." << kMaxThreads << ")\n";
+        return false;
+      }
     } else if (arg == "--stats") {
       options->stats = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -115,6 +140,8 @@ constexpr char kBenchUsage[] =
     "\n"
     "  --out=FILE   output path (default BENCH_core.json; '-' for stdout)\n"
     "  --smoke      CI-sized run: few families, capped graphs, short budgets\n"
+    "  --threads=N  run every suite at exactly N threads; default is the\n"
+    "               sweep {1, hardware_concurrency} for minseps/pmc\n"
     "  --quiet      no per-graph progress on stderr\n"
     "  --help       show this message and exit\n"
     "\n"
@@ -135,6 +162,13 @@ int RunBenchCommand(const std::vector<std::string>& args, std::ostream& out,
       options.smoke = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const std::string value = arg.substr(10);
+      if (!ParseThreads(value, &options.threads)) {
+        err << "invalid value for --threads: " << value
+            << " (expected an integer in 1.." << kMaxThreads << ")\n";
+        return 1;
+      }
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -249,7 +283,9 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
   ContextOptions ctx_options;
   ctx_options.width_bound = options.bound;
   ctx_options.separator_limits.time_limit_seconds = options.time_limit;
+  ctx_options.separator_limits.num_threads = options.threads;
   ctx_options.pmc_limits.time_limit_seconds = options.time_limit;
+  ctx_options.pmc_limits.num_threads = options.threads;
   CostComposition composition = (options.cost == "width" ||
                                  options.cost == "width-then-fill")
                                     ? CostComposition::kMax

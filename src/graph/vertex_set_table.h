@@ -1,0 +1,86 @@
+#ifndef MINTRI_GRAPH_VERTEX_SET_TABLE_H_
+#define MINTRI_GRAPH_VERTEX_SET_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/vertex_set.h"
+
+namespace mintri {
+
+/// The dedup layout shared by the enumeration engines: an arena of distinct
+/// VertexSets in insertion order plus an open-addressing (linear probing)
+/// table of arena indices keyed on the sets' cached 64-bit hashes. The
+/// serial MinimalSeparatorEnumerator uses one instance whose arena doubles
+/// as its work queue; the parallel ShardedVertexSetTable uses one instance
+/// per shard, under the shard's lock. Keeping both on this single class
+/// means probing/growth policy can never silently diverge between the
+/// serial and parallel paths.
+class VertexSetTable {
+ public:
+  explicit VertexSetTable(size_t initial_slots = 64)
+      : slots_(initial_slots, kEmptySlot), slot_mask_(initial_slots - 1) {}
+
+  /// Inserts s if absent. Returns true iff s was newly inserted; when
+  /// `index` is non-null it receives s's arena index either way.
+  bool Insert(const VertexSet& s, uint32_t* index = nullptr) {
+    const uint64_t h = s.Hash();
+    size_t i = h & slot_mask_;
+    while (true) {
+      const uint32_t slot = slots_[i];
+      if (slot == kEmptySlot) break;
+      if (hashes_[slot] == h && arena_[slot] == s) {
+        if (index != nullptr) *index = slot;
+        return false;
+      }
+      i = (i + 1) & slot_mask_;
+    }
+    const uint32_t new_index = static_cast<uint32_t>(arena_.size());
+    slots_[i] = new_index;
+    arena_.push_back(s);
+    hashes_.push_back(h);
+    // Keep the load factor below 1/2 so linear probing stays short.
+    if (arena_.size() * 2 >= slots_.size()) Grow();
+    if (index != nullptr) *index = new_index;
+    return true;
+  }
+
+  size_t Size() const { return arena_.size(); }
+
+  /// The i-th inserted set. The reference is invalidated by the next
+  /// Insert (the arena may grow and relocate) — copy to retain.
+  const VertexSet& At(size_t i) const { return arena_[i]; }
+
+  /// Moves the arena out and resets the table to its initial empty state.
+  std::vector<VertexSet> Take() {
+    std::vector<VertexSet> out = std::move(arena_);
+    arena_.clear();
+    hashes_.clear();
+    slots_.assign(slots_.size(), kEmptySlot);
+    return out;
+  }
+
+ private:
+  static constexpr uint32_t kEmptySlot = 0xffffffffu;
+
+  void Grow() {
+    slots_.assign(slots_.size() * 2, kEmptySlot);
+    slot_mask_ = slots_.size() - 1;
+    for (size_t idx = 0; idx < arena_.size(); ++idx) {
+      size_t i = hashes_[idx] & slot_mask_;
+      while (slots_[i] != kEmptySlot) i = (i + 1) & slot_mask_;
+      slots_[i] = static_cast<uint32_t>(idx);
+    }
+  }
+
+  std::vector<VertexSet> arena_;
+  std::vector<uint64_t> hashes_;
+  std::vector<uint32_t> slots_;
+  size_t slot_mask_ = 0;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_GRAPH_VERTEX_SET_TABLE_H_

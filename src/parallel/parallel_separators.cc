@@ -1,0 +1,144 @@
+#include "parallel/parallel_separators.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/sharded_set.h"
+#include "parallel/thread_pool.h"
+#include "util/timer.h"
+
+namespace mintri {
+namespace parallel {
+
+namespace {
+
+// Work items are 64-bit: either a seed vertex (tag bit set) whose "close"
+// separators are still to be scanned, or a reference into the dedup table
+// to a separator awaiting expansion. Routing the seeds through the queue —
+// instead of a separate seeding phase — lets the queue's outstanding-item
+// counter cover them, so no worker can conclude "drained" while another is
+// still seeding.
+constexpr uint64_t kSeedTag = uint64_t{1} << 63;
+
+// Shared state of one parallel enumeration run. Workers communicate only
+// through the dedup table, the work-stealing queue, and the stop/truncated
+// flags; all expansion scratch is per-thread.
+struct Engine {
+  Engine(const Graph& graph, int bound, const EnumerationLimits& lim,
+         int threads)
+      : g(graph),
+        max_size(bound),
+        limits(lim),
+        deadline(lim.time_limit_seconds),
+        num_threads(threads),
+        table(4 * threads),
+        queue(threads) {}
+
+  const Graph& g;
+  const int max_size;
+  const EnumerationLimits& limits;
+  const Deadline deadline;
+  const int num_threads;
+
+  ShardedVertexSetTable table;
+  WorkStealingQueue queue;
+  std::atomic<bool> truncated{false};
+
+  // Raises the truncation flag and drains every worker out of its loop.
+  void StopTruncated() {
+    truncated.store(true, std::memory_order_relaxed);
+    queue.Cancel();
+  }
+
+  // Inserts a discovered separator and queues it for expansion by `worker`.
+  // As in the serial engine, exceeding max_results means the full answer set
+  // is strictly larger than the cap, so the run is truncated.
+  void Offer(int worker, const VertexSet& s) {
+    if (s.Empty()) return;
+    if (max_size < g.NumVertices() && s.Count() > max_size) return;
+    ShardedVertexSetTable::Ref ref;
+    if (!table.Insert(s, &ref)) return;
+    if (table.Size() > limits.max_results) {
+      StopTruncated();
+      return;
+    }
+    queue.Push(worker, ShardedVertexSetTable::Pack(ref));
+  }
+
+  void RunWorker(int worker) {
+    ComponentScanner scanner;
+    VertexSet current;
+    VertexSet removed;
+    auto offer = [&](const VertexSet&, const VertexSet& nb) {
+      Offer(worker, nb);
+    };
+
+    uint64_t item;
+    while (queue.Next(worker, &item)) {
+      if ((item & kSeedTag) != 0) {
+        // Seeding (Berry et al.): the components C of G \ N[v] have minimal
+        // separators N(C) as neighborhoods ("close" separators).
+        if (deadline.Expired()) {
+          StopTruncated();
+        } else {
+          const int v = static_cast<int>(item & ~kSeedTag);
+          removed = g.Neighbors(v);
+          removed.Insert(v);
+          scanner.ForEachComponent(g, removed, offer);
+        }
+      } else {
+        // Expansion: for each x in S, the neighborhoods of the components
+        // of G \ (S ∪ N(x)) are minimal separators. The deadline and the
+        // cancellation flag are polled per vertex, so neither one huge
+        // expansion can blow the time budget nor can a worker keep
+        // expanding long after another hit the result cap.
+        table.CopyEntry(ShardedVertexSetTable::Unpack(item), &current);
+        current.ForEachWhile([&](int x) {
+          if (queue.Cancelled()) return false;
+          if (deadline.Expired()) {
+            StopTruncated();
+            return false;
+          }
+          removed.AssignUnionOf(current, g.Neighbors(x));
+          scanner.ForEachComponent(g, removed, offer);
+          return true;
+        });
+      }
+      queue.Finish();
+    }
+  }
+};
+
+}  // namespace
+
+MinimalSeparatorsResult ListMinimalSeparatorsParallel(
+    const Graph& g, int max_size, const EnumerationLimits& limits) {
+  // Clamp before sizing any per-thread state (queue deques, shard count),
+  // not just before spawning, so a wild num_threads cannot balloon memory.
+  Engine engine(g, max_size, limits,
+                std::clamp(limits.num_threads, 1, kMaxRunThreads));
+  for (int v = 0; v < g.NumVertices(); ++v) {
+    engine.queue.Push(v % engine.num_threads, kSeedTag | uint64_t(v));
+  }
+  RunOnThreads(engine.num_threads,
+               [&engine](int worker) { engine.RunWorker(worker); });
+
+  MinimalSeparatorsResult result;
+  result.separators = engine.table.TakeAll();
+  if (engine.truncated.load(std::memory_order_relaxed)) {
+    result.status = EnumerationStatus::kTruncated;
+    // Racing inserts may have pushed the table slightly past the cap; any
+    // subset is a valid prefix, so trim to the promised size.
+    if (result.separators.size() > limits.max_results) {
+      result.separators.resize(limits.max_results);
+    }
+  } else {
+    // Canonical order: a complete parallel run is deterministic regardless
+    // of how threads interleaved.
+    std::sort(result.separators.begin(), result.separators.end());
+  }
+  return result;
+}
+
+}  // namespace parallel
+}  // namespace mintri

@@ -1,0 +1,35 @@
+#ifndef MINTRI_PARALLEL_PARALLEL_SEPARATORS_H_
+#define MINTRI_PARALLEL_PARALLEL_SEPARATORS_H_
+
+#include "graph/graph.h"
+#include "separators/minimal_separators.h"
+
+namespace mintri {
+namespace parallel {
+
+/// Multi-threaded Berry–Bordat–Cogis enumeration: the batch engine behind
+/// ListMinimalSeparators / ListMinimalSeparatorsBounded when
+/// EnumerationLimits::num_threads > 1.
+///
+/// Every expansion of a queued separator is independent, so the frontier is
+/// distributed over a WorkStealingQueue (one deque per thread, each expansion
+/// one work item) and deduplication runs through a ShardedVertexSetTable
+/// striped over the sets' cached 64-bit hashes. Seed vertices are claimed
+/// from an atomic cursor, and each thread expands with its own
+/// ComponentScanner and scratch sets — the only shared mutable state is the
+/// queue and the dedup table.
+///
+/// Semantics match the serial engine: the result is the exact set MinSep(G)
+/// (restricted to |S| <= max_size) when status is kComplete; on a deadline
+/// or max_results truncation it is a valid prefix — every returned set is a
+/// genuine minimal separator — labelled kTruncated. Unlike the serial
+/// engine's discovery order, a complete parallel result is returned in
+/// canonical sorted order, so equal inputs give bit-identical output
+/// regardless of thread interleaving.
+MinimalSeparatorsResult ListMinimalSeparatorsParallel(
+    const Graph& g, int max_size, const EnumerationLimits& limits);
+
+}  // namespace parallel
+}  // namespace mintri
+
+#endif  // MINTRI_PARALLEL_PARALLEL_SEPARATORS_H_

@@ -1,0 +1,53 @@
+#include "parallel/sharded_set.h"
+
+namespace mintri {
+namespace parallel {
+
+namespace {
+
+size_t NextPowerOfTwo(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ShardedVertexSetTable::ShardedVertexSetTable(int num_shards)
+    : shards_(NextPowerOfTwo(num_shards < 1 ? 1 : num_shards)) {
+  shard_mask_ = shards_.size() - 1;
+}
+
+bool ShardedVertexSetTable::Insert(const VertexSet& s, Ref* ref) {
+  const uint32_t shard_id =
+      static_cast<uint32_t>((s.Hash() >> 32) & shard_mask_);
+  Shard& shard = shards_[shard_id];
+  uint32_t index = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!shard.table.Insert(s, &index)) return false;
+  }
+  size_.fetch_add(1, std::memory_order_relaxed);
+  if (ref != nullptr) *ref = {shard_id, index};
+  return true;
+}
+
+void ShardedVertexSetTable::CopyEntry(Ref ref, VertexSet* out) const {
+  const Shard& shard = shards_[ref.shard];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  *out = shard.table.At(ref.index);
+}
+
+std::vector<VertexSet> ShardedVertexSetTable::TakeAll() {
+  std::vector<VertexSet> out;
+  out.reserve(Size());
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (VertexSet& s : shard.table.Take()) out.push_back(std::move(s));
+  }
+  size_.store(0, std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace parallel
+}  // namespace mintri

@@ -1,0 +1,89 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace mintri {
+namespace parallel {
+
+int DefaultParallelThreads() {
+  return std::max(2u, std::thread::hardware_concurrency());
+}
+
+void RunOnThreads(int num_threads, const std::function<void(int)>& fn) {
+  // Last-line defense for every entry point (CLI validation aside): a
+  // std::thread constructor throwing on resource exhaustion would escape as
+  // std::terminate, so absurd requests are clamped instead of attempted.
+  num_threads = std::min(num_threads, kMaxRunThreads);
+  if (num_threads <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (int id = 1; id < num_threads; ++id) {
+    threads.emplace_back([&fn, id] { fn(id); });
+  }
+  fn(0);
+  for (std::thread& t : threads) t.join();
+}
+
+WorkStealingQueue::WorkStealingQueue(int num_workers)
+    : workers_(num_workers) {}
+
+void WorkStealingQueue::Push(int worker, uint64_t item) {
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(workers_[worker].mutex);
+  workers_[worker].deque.push_back(item);
+}
+
+bool WorkStealingQueue::TryPop(int worker, uint64_t* item) {
+  {
+    // Own deque: LIFO keeps the separator just discovered (and still warm in
+    // cache) the next one expanded.
+    Worker& own = workers_[worker];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      *item = own.deque.back();
+      own.deque.pop_back();
+      return true;
+    }
+  }
+  const int n = static_cast<int>(workers_.size());
+  for (int step = 1; step < n; ++step) {
+    Worker& victim = workers_[(worker + step) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      // Steal from the front: the oldest items tend to be the roots of the
+      // largest unexplored expansion subtrees.
+      *item = victim.deque.front();
+      victim.deque.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WorkStealingQueue::Next(int worker, uint64_t* item) {
+  while (true) {
+    if (cancelled_.load(std::memory_order_relaxed)) return false;
+    if (TryPop(worker, item)) return true;
+    // Every deque was momentarily empty. If nothing is in flight either,
+    // no further work can appear (Finish of in-flight items is the only
+    // producer left) — the acquire pairs with Finish's release so the
+    // emptiness we just observed is final.
+    if (outstanding_.load(std::memory_order_acquire) == 0) return false;
+    std::this_thread::yield();
+  }
+}
+
+void WorkStealingQueue::Finish() {
+  outstanding_.fetch_sub(1, std::memory_order_release);
+}
+
+void WorkStealingQueue::Cancel() {
+  cancelled_.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace parallel
+}  // namespace mintri

@@ -1,0 +1,89 @@
+#ifndef MINTRI_PARALLEL_THREAD_POOL_H_
+#define MINTRI_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace mintri {
+namespace parallel {
+
+/// Number of worker threads to use when the caller asks for "all the
+/// hardware": std::thread::hardware_concurrency(), but never less than 2 so
+/// the parallel code path is exercised even on single-core CI runners.
+int DefaultParallelThreads();
+
+/// Hard ceiling on spawned workers. RunOnThreads clamps to this so a wild
+/// num_threads (from any caller, not just the CLI) degrades gracefully
+/// instead of aborting the process when std::thread creation fails.
+inline constexpr int kMaxRunThreads = 1024;
+
+/// Runs fn(worker_id) for worker_id in [0, num_threads) — worker 0 on the
+/// calling thread, the rest on freshly spawned std::threads — and joins them
+/// all before returning. The fork-join primitive every parallel enumeration
+/// in this subsystem is built on; `fn` must not throw.
+void RunOnThreads(int num_threads, const std::function<void(int)>& fn);
+
+/// A work-stealing multi-queue of opaque 64-bit work items (the enumeration
+/// engines pack sharded-table references into them). Each worker owns a
+/// deque: Push appends to the owner's back, Next pops the owner's back
+/// (LIFO, cache-warm) and falls back to stealing from the front of a victim
+/// (FIFO, coarse chunks first). Termination is detected with an outstanding
+/// counter: an item counts from Push until the matching Finish, so work
+/// spawned *while processing* an item can never be missed — Next only
+/// returns false once every queue is empty and no item is still in flight
+/// (or after Cancel).
+///
+/// The deques are mutex-striped (one lock per worker) rather than lock-free:
+/// the enumeration engines pop one item and then do an expansion that is
+/// orders of magnitude more expensive than the lock, so contention is not
+/// the bottleneck and the simple version is ThreadSanitizer-clean by
+/// construction.
+class WorkStealingQueue {
+ public:
+  explicit WorkStealingQueue(int num_workers);
+
+  WorkStealingQueue(const WorkStealingQueue&) = delete;
+  WorkStealingQueue& operator=(const WorkStealingQueue&) = delete;
+
+  /// Enqueues an item onto `worker`'s deque.
+  void Push(int worker, uint64_t item);
+
+  /// Dequeues the next item for `worker`: its own deque first, then steals.
+  /// Spins (yielding) while other workers still hold in-flight items that
+  /// may spawn more work. Returns false only when the whole enumeration is
+  /// drained or Cancel() was called.
+  bool Next(int worker, uint64_t* item);
+
+  /// After processing an item obtained from Next(), the worker must call
+  /// Finish() exactly once so termination detection can make progress.
+  void Finish();
+
+  /// Makes every current and future Next() call return false; used when a
+  /// deadline expires or a result cap is hit.
+  void Cancel();
+
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool TryPop(int worker, uint64_t* item);
+
+  struct Worker {
+    std::mutex mutex;
+    std::deque<uint64_t> deque;
+  };
+
+  std::vector<Worker> workers_;
+  std::atomic<size_t> outstanding_{0};
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace parallel
+}  // namespace mintri
+
+#endif  // MINTRI_PARALLEL_THREAD_POOL_H_

@@ -1,8 +1,12 @@
 #include "pmc/potential_maximal_cliques.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <unordered_set>
+
+#include "parallel/sharded_set.h"
+#include "parallel/thread_pool.h"
 
 namespace mintri {
 
@@ -76,6 +80,13 @@ class PmcTester {
   std::vector<int> members_;
 };
 
+// Thresholds below which the parallel paths fall back to serial: a
+// fork-join plus per-worker scratch costs tens of microseconds, which
+// dwarfs the real work on tiny prefix graphs / candidate spaces. Both
+// paths produce the same sets, so the cutover is unobservable in results.
+constexpr int kMinParallelVertices = 20;
+constexpr size_t kMinParallelItems = 64;
+
 // State of the vertex-incremental enumeration, over the relabeled graph
 // whose vertex i is the i-th vertex in the insertion order.
 class IncrementalEnumerator {
@@ -102,6 +113,10 @@ class IncrementalEnumerator {
       }
       EnumerationLimits sep_limits;
       sep_limits.time_limit_seconds = deadline_.RemainingSeconds();
+      // Tiny prefix graphs finish in microseconds; below the threshold the
+      // fork-join would cost more than the enumeration itself.
+      sep_limits.num_threads =
+          i + 1 >= kMinParallelVertices ? options_.limits.num_threads : 1;
       MinimalSeparatorsResult seps = ListMinimalSeparators(next, sep_limits);
       if (seps.status != EnumerationStatus::kComplete) {
         result.status = EnumerationStatus::kTruncated;
@@ -125,7 +140,13 @@ class IncrementalEnumerator {
   bool Step(const Graph& next, int a, const std::vector<VertexSet>& prev_pmcs,
             const std::vector<VertexSet>& next_seps,
             std::vector<VertexSet>* out) {
-    const int n1 = next.NumVertices();
+    // Parallelize only once the candidate space can amortize the fork-join
+    // (spawning threads and per-worker scratch costs tens of microseconds;
+    // early prefix steps do less total work than that).
+    if (options_.limits.num_threads > 1 &&
+        prev_pmcs.size() + 2 * next_seps.size() >= kMinParallelItems) {
+      return ParallelStep(next, a, prev_pmcs, next_seps, out);
+    }
     tried_.clear();
     auto consider = [&](VertexSet omega) -> bool {
       if (omega.Empty() || omega.Count() > options_.max_size) return true;
@@ -137,51 +158,140 @@ class IncrementalEnumerator {
       return true;
     };
 
-    auto lift = [&](const VertexSet& small) {
-      VertexSet big(n1);
-      small.ForEach([&](int v) { big.Insert(v); });
-      return big;
-    };
-
-    // Case 1 & 2: PMCs of the prefix, with and without the new vertex.
-    for (const VertexSet& p : prev_pmcs) {
-      VertexSet omega = lift(p);
-      VertexSet with_a = omega;
-      with_a.Insert(a);
-      if (!consider(std::move(omega))) return false;
-      if (!consider(std::move(with_a))) return false;
+    const std::vector<const VertexSet*> t_list = CaseFourTList(next_seps, a);
+    const size_t num_items = prev_pmcs.size() + 2 * next_seps.size();
+    for (size_t item = 0; item < num_items; ++item) {
       if (deadline_.Expired()) return false;
+      if (!GenerateCandidates(next, a, prev_pmcs, next_seps, t_list, item,
+                              &scanner_, &components_, &extra_, consider)) {
+        return false;
+      }
     }
+    return true;
+  }
 
-    // Case 3: S ∪ {a} for minimal separators S of G_{i+1}.
-    for (const VertexSet& s : next_seps) {
-      VertexSet omega = s;
-      omega.Insert(a);
-      if (!consider(std::move(omega))) return false;
-      if (deadline_.Expired()) return false;
-    }
-
-    // Case 4: S ∪ (T ∩ C) for S, T ∈ MinSep(G_{i+1}) and C a component of
-    // G_{i+1} \ S. Unless exhaustive_pairs is set, T ranges only over the
-    // separators containing the new vertex a (the Bouchitté–Todinca case
-    // analysis; validated against brute force in the test suite).
+  // The T's of the case-4 products S ∪ (T ∩ C). Unless exhaustive_pairs is
+  // set, T ranges only over the separators containing the new vertex a (the
+  // Bouchitté–Todinca case analysis; validated against brute force in the
+  // test suite).
+  std::vector<const VertexSet*> CaseFourTList(
+      const std::vector<VertexSet>& next_seps, int a) const {
     std::vector<const VertexSet*> t_list;
     for (const VertexSet& t : next_seps) {
       if (options_.exhaustive_pairs || t.Contains(a)) t_list.push_back(&t);
     }
-    for (const VertexSet& s : next_seps) {
-      if (deadline_.Expired()) return false;
-      scanner_.Components(next, s, &components_);
-      for (const VertexSet* t : t_list) {
-        if (*t == s) continue;
-        for (const VertexSet& c : components_) {
-          extra_ = *t;
-          extra_.IntersectWith(c);
-          if (extra_.Empty()) continue;
-          extra_.UnionWith(s);
-          if (!consider(extra_)) return false;
+    return t_list;
+  }
+
+  // Generates the PMC candidates of one item of the flat work space
+  // [0, |prev_pmcs| + 2|next_seps|) and feeds them to `consider`, stopping
+  // early when it returns false (the return value is forwarded). Items are:
+  // case 1 & 2 (a prefix PMC, lifted with and without the new vertex a),
+  // then case 3 (S ∪ {a} for a separator S), then case 4 (the products
+  // S ∪ (T ∩ C) for one outer separator S). Both the serial and the
+  // parallel Step run on this single generator, so the case analysis can
+  // never diverge between them; scratch is caller-supplied (per-thread in
+  // the parallel path).
+  template <typename Consider>
+  static bool GenerateCandidates(const Graph& next, int a,
+                                 const std::vector<VertexSet>& prev_pmcs,
+                                 const std::vector<VertexSet>& next_seps,
+                                 const std::vector<const VertexSet*>& t_list,
+                                 size_t item, ComponentScanner* scanner,
+                                 std::vector<VertexSet>* components,
+                                 VertexSet* extra, const Consider& consider) {
+    const size_t num_pmcs = prev_pmcs.size();
+    const size_t num_seps = next_seps.size();
+    if (item < num_pmcs) {
+      VertexSet omega(next.NumVertices());
+      prev_pmcs[item].ForEach([&](int v) { omega.Insert(v); });
+      VertexSet with_a = omega;
+      with_a.Insert(a);
+      return consider(std::move(omega)) && consider(std::move(with_a));
+    }
+    if (item < num_pmcs + num_seps) {
+      VertexSet omega = next_seps[item - num_pmcs];
+      omega.Insert(a);
+      return consider(std::move(omega));
+    }
+    const VertexSet& s = next_seps[item - num_pmcs - num_seps];
+    scanner->Components(next, s, components);
+    for (const VertexSet* t : t_list) {
+      if (*t == s) continue;
+      for (const VertexSet& c : *components) {
+        *extra = *t;
+        extra->IntersectWith(c);
+        if (extra->Empty()) continue;
+        extra->UnionWith(s);
+        if (!consider(*extra)) return false;
+      }
+    }
+    return true;
+  }
+
+  // Multi-threaded Step: the candidate *sources* (prefix PMCs for cases 1&2,
+  // separators for case 3, case-4 outer separators S) form a flat index
+  // space that workers claim from an atomic cursor; each worker tests its
+  // candidates with its own PmcTester/ComponentScanner scratch, dedup goes
+  // through a sharded table on the cached VertexSet hashes, and accepted
+  // PMCs land in per-worker vectors that are concatenated at the join. The
+  // output *set* is exactly the serial one (every candidate is considered
+  // and IsPmc is order-independent); only the order within `out` differs,
+  // and ListPotentialMaximalCliques sorts the final result anyway.
+  bool ParallelStep(const Graph& next, int a,
+                    const std::vector<VertexSet>& prev_pmcs,
+                    const std::vector<VertexSet>& next_seps,
+                    std::vector<VertexSet>* out) {
+    // Clamped before sizing shard/worker state, mirroring RunOnThreads.
+    const int num_threads =
+        std::clamp(options_.limits.num_threads, 1, parallel::kMaxRunThreads);
+    const std::vector<const VertexSet*> t_list = CaseFourTList(next_seps, a);
+    const size_t num_items = prev_pmcs.size() + 2 * next_seps.size();
+
+    parallel::ShardedVertexSetTable tried(4 * num_threads);
+    std::atomic<size_t> cursor{0};
+    std::atomic<size_t> accepted{0};
+    std::atomic<bool> stopped{false};
+    std::vector<std::vector<VertexSet>> worker_out(num_threads);
+
+    parallel::RunOnThreads(num_threads, [&](int worker) {
+      PmcTester tester;
+      ComponentScanner scanner;
+      std::vector<VertexSet> components;
+      VertexSet extra;
+      std::vector<VertexSet>& local_out = worker_out[worker];
+
+      auto consider = [&](VertexSet omega) -> bool {
+        if (omega.Empty() || omega.Count() > options_.max_size) return true;
+        if (!tried.Insert(omega)) return true;
+        if (tester.Test(next, omega)) {
+          local_out.push_back(std::move(omega));
+          if (accepted.fetch_add(1, std::memory_order_relaxed) + 1 >
+              options_.limits.max_results) {
+            return false;
+          }
+        }
+        return true;
+      };
+
+      while (!stopped.load(std::memory_order_relaxed)) {
+        const size_t item = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (item >= num_items) break;
+        if (deadline_.Expired()) {
+          stopped.store(true, std::memory_order_relaxed);
+          break;
+        }
+        if (!GenerateCandidates(next, a, prev_pmcs, next_seps, t_list, item,
+                                &scanner, &components, &extra, consider)) {
+          stopped.store(true, std::memory_order_relaxed);
+          break;
         }
       }
+    });
+
+    if (stopped.load(std::memory_order_relaxed)) return false;
+    for (std::vector<VertexSet>& chunk : worker_out) {
+      for (VertexSet& omega : chunk) out->push_back(std::move(omega));
     }
     return true;
   }

@@ -1,5 +1,7 @@
 #include "separators/minimal_separators.h"
 
+#include "parallel/parallel_separators.h"
+
 namespace mintri {
 
 bool IsMinimalSeparator(const Graph& g, const VertexSet& s) {
@@ -20,8 +22,7 @@ MinimalSeparatorEnumerator::MinimalSeparatorEnumerator(const Graph& g,
     : g_(g),
       max_size_(max_size),
       deadline_(deadline),
-      slots_(256, kEmptySlot),
-      slot_mask_(255) {}
+      table_(/*initial_slots=*/256) {}
 
 MinimalSeparatorEnumerator::MinimalSeparatorEnumerator(const Graph& g)
     : MinimalSeparatorEnumerator(g, g.NumVertices()) {}
@@ -29,36 +30,14 @@ MinimalSeparatorEnumerator::MinimalSeparatorEnumerator(const Graph& g)
 void MinimalSeparatorEnumerator::Offer(const VertexSet& s) {
   if (s.Empty()) return;
   if (max_size_ < g_.NumVertices() && s.Count() > max_size_) return;
-  const uint64_t h = s.Hash();
-  size_t i = h & slot_mask_;
-  while (true) {
-    const uint32_t slot = slots_[i];
-    if (slot == kEmptySlot) break;
-    if (hashes_[slot] == h && arena_[slot] == s) return;  // already seen
-    i = (i + 1) & slot_mask_;
-  }
-  slots_[i] = static_cast<uint32_t>(arena_.size());
-  arena_.push_back(s);
-  hashes_.push_back(h);
-  // Keep the load factor below 1/2 so linear probing stays short.
-  if (arena_.size() * 2 >= slots_.size()) GrowSlots();
-}
-
-void MinimalSeparatorEnumerator::GrowSlots() {
-  slots_.assign(slots_.size() * 2, kEmptySlot);
-  slot_mask_ = slots_.size() - 1;
-  for (size_t idx = 0; idx < arena_.size(); ++idx) {
-    size_t i = hashes_[idx] & slot_mask_;
-    while (slots_[i] != kEmptySlot) i = (i + 1) & slot_mask_;
-    slots_[i] = static_cast<uint32_t>(idx);
-  }
+  table_.Insert(s);
 }
 
 std::optional<VertexSet> MinimalSeparatorEnumerator::Next() {
   // Lazy seeding: only scan the next vertex's close separators (components
   // of G \ N[v], Berry et al.) once the queue has run dry. This keeps the
   // first result cheap, which is what the CKK baseline banks on.
-  while (head_ >= arena_.size() && seed_cursor_ < g_.NumVertices()) {
+  while (head_ >= table_.Size() && seed_cursor_ < g_.NumVertices()) {
     if (DeadlineExpired()) {
       truncated_ = true;
       return std::nullopt;
@@ -70,12 +49,12 @@ std::optional<VertexSet> MinimalSeparatorEnumerator::Next() {
         g_, removed_,
         [&](const VertexSet&, const VertexSet& nb) { Offer(nb); });
   }
-  if (head_ >= arena_.size()) return std::nullopt;
+  if (head_ >= table_.Size()) return std::nullopt;
 
   const size_t index = head_++;
   // Copy to scratch: Offer() may grow the arena and move its elements while
   // we are still iterating over the separator being expanded.
-  current_ = arena_[index];
+  current_ = table_.At(index);
   // Expansion: for each x in S, the neighborhoods of the components of
   // G \ (S ∪ N(x)) are minimal separators. The deadline is polled per
   // vertex so one huge expansion cannot blow past the time budget.
@@ -88,13 +67,16 @@ std::optional<VertexSet> MinimalSeparatorEnumerator::Next() {
     return true;
   });
   if (!completed) truncated_ = true;
-  return arena_[index];
+  return table_.At(index);
 }
 
 namespace {
 
 MinimalSeparatorsResult ListImpl(const Graph& g, int max_size,
                                  const EnumerationLimits& limits) {
+  if (limits.num_threads > 1) {
+    return parallel::ListMinimalSeparatorsParallel(g, max_size, limits);
+  }
   Deadline deadline(limits.time_limit_seconds);
   MinimalSeparatorsResult result;
   MinimalSeparatorEnumerator enumerator(g, max_size, &deadline);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/vertex_set_table.h"
 #include "util/timer.h"
 
 namespace mintri {
@@ -18,6 +19,15 @@ namespace mintri {
 struct EnumerationLimits {
   size_t max_results = std::numeric_limits<size_t>::max();
   double time_limit_seconds = std::numeric_limits<double>::infinity();
+  /// Worker threads for the batch enumerations. 1 (the default) runs the
+  /// serial engines unchanged; > 1 routes ListMinimalSeparators /
+  /// ListMinimalSeparatorsBounded / ListPotentialMaximalCliques through the
+  /// src/parallel/ work-stealing engines. Complete results are identical to
+  /// the serial answer sets (and returned in canonical sorted order);
+  /// truncated results are valid prefixes, but *which* prefix depends on
+  /// thread interleaving. The streaming MinimalSeparatorEnumerator below is
+  /// always single-threaded.
+  int num_threads = 1;
 };
 
 enum class EnumerationStatus {
@@ -57,7 +67,16 @@ std::vector<VertexSet> MinimalSeparatorsBruteForce(const Graph& g);
 /// per Next() call, with polynomial delay. The CKK baseline consumes this
 /// stream lazily (it must not pay the full enumeration upfront — having no
 /// initialization step is its selling point in Table 2), and the batch
-/// functions above are thin wrappers.
+/// functions above are thin wrappers (for num_threads == 1; with more
+/// threads they use the src/parallel/ batch engine instead).
+///
+/// Note on guarantees under threading: the polynomial-delay bound is a
+/// property of this serial stream — each Next() does at most one expansion
+/// (O(n·m) work) between results. The parallel batch engine preserves the
+/// *total* work bound and the exact answer set, but not per-result delay:
+/// results materialize in bursts as workers drain the shared frontier, so
+/// per-thread delay is polynomial only in an amortized sense and no global
+/// emission order is defined.
 ///
 /// Internals are built for throughput: every distinct separator lives in an
 /// arena (discovery order) that doubles as the work queue, deduplication is
@@ -84,7 +103,7 @@ class MinimalSeparatorEnumerator {
   /// True when the stream has nothing further to produce: every discovered
   /// separator was reported and every seed vertex processed.
   bool Exhausted() const {
-    return head_ >= arena_.size() && seed_cursor_ >= g_.NumVertices();
+    return head_ >= table_.Size() && seed_cursor_ >= g_.NumVertices();
   }
 
   /// True iff the deadline cut seeding or an expansion short, i.e. the
@@ -93,11 +112,9 @@ class MinimalSeparatorEnumerator {
 
   /// Number of distinct minimal separators discovered so far (reported or
   /// still queued).
-  size_t NumDiscovered() const { return arena_.size(); }
+  size_t NumDiscovered() const { return table_.Size(); }
 
  private:
-  static constexpr uint32_t kEmptySlot = 0xffffffffu;
-
   bool DeadlineExpired() const {
     return deadline_ != nullptr && deadline_->Expired();
   }
@@ -105,25 +122,18 @@ class MinimalSeparatorEnumerator {
   // Inserts s into the arena/queue unless seen or over the size bound.
   void Offer(const VertexSet& s);
 
-  // Doubles the slot table and re-probes every arena entry.
-  void GrowSlots();
-
   const Graph& g_;
   int max_size_;
   const Deadline* deadline_;
   bool truncated_ = false;
 
-  // Arena of all distinct separators in discovery order. Entries at index
-  // >= head_ are the pending queue; Next() reports arena_[head_] and
+  // All distinct separators in discovery order (VertexSetTable's arena —
+  // the layout shared with the parallel engine's shards). Entries at index
+  // >= head_ are the pending queue; Next() reports table_.At(head_) and
   // advances, so queue entries are indices, never copies.
-  std::vector<VertexSet> arena_;
-  std::vector<uint64_t> hashes_;  // cached hash per arena entry
+  VertexSetTable table_;
   size_t head_ = 0;
   int seed_cursor_ = 0;  // next vertex whose close separators to seed
-
-  // Open-addressing (linear probing) table of arena indices.
-  std::vector<uint32_t> slots_;
-  size_t slot_mask_ = 0;
 
   // Reused scratch.
   ComponentScanner scanner_;

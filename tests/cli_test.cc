@@ -84,6 +84,44 @@ TEST(CliTest, ErrorsAreReported) {
   EXPECT_EQ(Invoke({"nonexistent_file.gr"}, "").code, 1);
 }
 
+TEST(CliTest, ThreadsFlagValidation) {
+  // 0, negative, garbage, empty, and absurd counts are all rejected up
+  // front — including values whose low 32 bits would truncate to a small
+  // "valid" int.
+  EXPECT_EQ(Invoke({"--threads=0"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--threads=-2"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--threads=two"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--threads=2x"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--threads="}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--threads=500000"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--threads=4294967297"}, kC4).code, 1);
+  CliResult bad = Invoke({"--threads=0"}, kC4);
+  EXPECT_NE(bad.err.find("invalid value for --threads"), std::string::npos)
+      << bad.err;
+
+  // A valid thread count runs the normal pipeline to the same answer.
+  CliResult r = Invoke({"--threads=2", "--cost=fill", "--top=10"}, kC4);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("#1 cost=1 width=2 fill=1"), std::string::npos)
+      << r.out;
+  EXPECT_EQ(r.out.find("#3"), std::string::npos);
+}
+
+TEST(CliTest, BenchThreadsFlag) {
+  EXPECT_EQ(Invoke({"bench", "--threads=0"}, "").code, 1);
+  EXPECT_EQ(Invoke({"bench", "--threads=-1"}, "").code, 1);
+  EXPECT_EQ(Invoke({"bench", "--threads=garbage"}, "").code, 1);
+  EXPECT_EQ(Invoke({"bench", "--threads=1000000"}, "").code, 1);
+
+  // --threads=2 pins every entry of the report to two threads.
+  CliResult r = Invoke(
+      {"bench", "minseps", "--smoke", "--quiet", "--threads=2", "--out=-"},
+      "");
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"threads\": 2"), std::string::npos) << r.out;
+  EXPECT_EQ(r.out.find("\"threads\": 1"), std::string::npos) << r.out;
+}
+
 TEST(CliTest, StateSpaceCost) {
   CliResult r = Invoke({"--cost=state-space", "--top=1"}, kC4);
   EXPECT_EQ(r.code, 0) << r.err;
@@ -111,7 +149,8 @@ TEST(CliTest, BenchSmokeEmitsSchemaShapedJson) {
   for (const char* key :
        {"\"schema_version\": 1", "\"git_sha\"", "\"time_scale\"",
         "\"smoke\": true", "\"suites\": [\"minseps\"]", "\"entries\"",
-        "\"results_per_sec\"", "\"wall_ms\"", "\"status\""}) {
+        "\"results_per_sec\"", "\"wall_ms\"", "\"status\"",
+        "\"threads\": 1"}) {
     EXPECT_NE(r.out.find(key), std::string::npos) << "missing " << key;
   }
 }

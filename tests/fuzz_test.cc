@@ -2,7 +2,10 @@
 // std::set<int>, Graph connectivity against a reference union-find, and a
 // whole-pipeline cross-validation — Ω is a potential maximal clique iff it
 // occurs as a maximal clique of some minimal triangulation (the *defining*
-// property of PMCs, checked against the Parra–Scheffler brute force).
+// property of PMCs, checked against the Parra–Scheffler brute force). A
+// parallel mode reruns the separator/PMC pipeline through the
+// work-stealing engine (num_threads > 1) on the same deterministic seeds,
+// so the fuzzing also exercises the thread pool and sharded dedup table.
 
 #include <gtest/gtest.h>
 
@@ -132,6 +135,35 @@ TEST_P(PipelineCross, PmcsAreExactlyTheBagsOfMinimalTriangulations) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineCross, ::testing::Range(0, 10));
+
+// Parallel mode: the multi-threaded batch enumerators must agree with the
+// serial ones on the same fixed-seed random graphs, at 2..4 threads.
+class ParallelPipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelPipelineFuzz, ParallelEnginesMatchSerialOnRandomGraphs) {
+  const int seed = GetParam();
+  const int n = 10 + seed % 5;
+  Graph g = workloads::ConnectedErdosRenyi(n, 0.2 + 0.05 * (seed % 4),
+                                           96000 + seed);
+  EnumerationLimits par_limits;
+  par_limits.num_threads = 2 + seed % 3;
+
+  auto serial_seps = ListMinimalSeparators(g).separators;
+  std::sort(serial_seps.begin(), serial_seps.end());
+  MinimalSeparatorsResult par_seps = ListMinimalSeparators(g, par_limits);
+  ASSERT_EQ(par_seps.status, EnumerationStatus::kComplete);
+  EXPECT_EQ(par_seps.separators, serial_seps) << "seed=" << seed;
+
+  auto serial_pmcs = ListPotentialMaximalCliques(g, serial_seps).pmcs;
+  PmcOptions par_options;
+  par_options.limits.num_threads = par_limits.num_threads;
+  PmcResult par_pmcs =
+      ListPotentialMaximalCliques(g, serial_seps, par_options);
+  ASSERT_EQ(par_pmcs.status, EnumerationStatus::kComplete);
+  EXPECT_EQ(par_pmcs.pmcs, serial_pmcs) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelPipelineFuzz, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace mintri

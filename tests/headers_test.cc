@@ -19,11 +19,15 @@
 #include "graph/graph.h"
 #include "graph/graph_io.h"
 #include "graph/vertex_set.h"
+#include "graph/vertex_set_table.h"
 #include "hypergraph/edge_cover.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/linear_program.h"
 #include "inference/factor.h"
 #include "inference/junction_tree.h"
+#include "parallel/parallel_separators.h"
+#include "parallel/sharded_set.h"
+#include "parallel/thread_pool.h"
 #include "pmc/potential_maximal_cliques.h"
 #include "separators/blocks.h"
 #include "separators/crossing.h"
@@ -58,11 +62,15 @@
 #include "graph/graph.h"
 #include "graph/graph_io.h"
 #include "graph/vertex_set.h"
+#include "graph/vertex_set_table.h"
 #include "hypergraph/edge_cover.h"
 #include "hypergraph/hypergraph.h"
 #include "hypergraph/linear_program.h"
 #include "inference/factor.h"
 #include "inference/junction_tree.h"
+#include "parallel/parallel_separators.h"
+#include "parallel/sharded_set.h"
+#include "parallel/thread_pool.h"
 #include "pmc/potential_maximal_cliques.h"
 #include "separators/blocks.h"
 #include "separators/crossing.h"
