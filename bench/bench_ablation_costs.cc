@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "cost/constrained_cost.h"
 #include "cost/standard_costs.h"
+#include "triang/min_triang.h"
 #include "util/table_printer.h"
 #include "workloads/graphical_models.h"
 #include "workloads/named_graphs.h"

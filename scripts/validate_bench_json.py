@@ -30,11 +30,14 @@ ENTRY = {
     "count": int,
     "wall_ms": float,
     "results_per_sec": float,
+    "init_seconds": float,
     "status": str,
 }
 
-KNOWN_SUITES = {"minseps", "pmc", "enum"}
-KNOWN_STATUSES = {"complete", "truncated", "init-timeout"}
+KNOWN_SUITES = {"minseps", "pmc", "enum", "ranked"}
+# ms-terminated / pmc-terminated are the Fig. 5 taxonomy of which context
+# initialization stage hit its limits.
+KNOWN_STATUSES = {"complete", "truncated", "ms-terminated", "pmc-terminated"}
 
 
 def fail(message):
@@ -98,6 +101,8 @@ def main():
             fail(f"{where}: threads must be >= 1, got {entry['threads']}")
         if entry["wall_ms"] < 0 or entry["results_per_sec"] < 0:
             fail(f"{where}: negative timing")
+        if entry["init_seconds"] < 0:
+            fail(f"{where}: negative init_seconds")
 
     per_suite = {s: sum(1 for e in entries if e["suite"] == s)
                  for s in suites}

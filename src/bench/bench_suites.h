@@ -27,7 +27,7 @@ inline constexpr size_t kMaxResults = 100000;
 
 /// One benchmarked (suite, graph) pair of BENCH_core.json.
 struct BenchEntry {
-  std::string suite;   // "minseps" | "pmc" | "enum"
+  std::string suite;   // "minseps" | "pmc" | "enum" | "ranked"
   std::string family;  // workload family name (Fig. 5 naming)
   std::string graph;   // graph name within the family
   int n = 0;           // vertices
@@ -35,8 +35,15 @@ struct BenchEntry {
   int threads = 1;     // enumeration worker threads for this run
   long long count = 0;          // results produced within budget
   double wall_ms = 0.0;         // wall time spent on this graph
-  double results_per_sec = 0.0;  // count / wall seconds
-  std::string status;  // "complete" | "truncated" | "init-timeout"
+  /// count / wall seconds; the ranked suite instead reports triangulations
+  /// per second *after the first result*, the paper's Table 2 measure.
+  double results_per_sec = 0.0;
+  /// Context initialization (seconds) for the context-building suites
+  /// (enum/ranked); 0 elsewhere.
+  double init_seconds = 0.0;
+  /// "complete" | "truncated" | "ms-terminated" | "pmc-terminated"
+  /// (the last two are the Fig. 5 taxonomy of which init stage gave up).
+  std::string status;
 };
 
 /// The machine-readable benchmark report (serialized as BENCH_core.json).

@@ -135,13 +135,15 @@ constexpr char kBenchUsage[] =
     "Runs the named benchmark suites over the built-in workload families and\n"
     "writes a machine-readable BENCH_core.json report. Suites: minseps (one\n"
     "ListMinimalSeparators pass per graph), pmc (minimal separators + PMC\n"
-    "enumeration), enum (ranked enumeration of minimal triangulations).\n"
-    "With no suite arguments (or with the keyword 'all'), all suites run.\n"
+    "enumeration), enum (ranked enumeration of minimal triangulations),\n"
+    "ranked (ranked enumeration with per-entry init_seconds and\n"
+    "after-first-result throughput, context init at the entry's thread\n"
+    "count). With no suite arguments (or the keyword 'all'), all suites run.\n"
     "\n"
     "  --out=FILE   output path (default BENCH_core.json; '-' for stdout)\n"
     "  --smoke      CI-sized run: few families, capped graphs, short budgets\n"
     "  --threads=N  run every suite at exactly N threads; default is the\n"
-    "               sweep {1, hardware_concurrency} for minseps/pmc\n"
+    "               sweep {1, hardware_concurrency} for minseps/pmc/ranked\n"
     "  --quiet      no per-graph progress on stderr\n"
     "  --help       show this message and exit\n"
     "\n"
@@ -180,7 +182,7 @@ int RunBenchCommand(const std::vector<std::string>& args, std::ostream& out,
       options.suites.push_back(arg);
     } else {
       err << "unknown suite: " << arg
-          << " (expected minseps, pmc, enum, or all)\n";
+          << " (expected minseps, pmc, enum, ranked, or all)\n";
       return 1;
     }
   }
@@ -283,9 +285,8 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
   ContextOptions ctx_options;
   ctx_options.width_bound = options.bound;
   ctx_options.separator_limits.time_limit_seconds = options.time_limit;
-  ctx_options.separator_limits.num_threads = options.threads;
   ctx_options.pmc_limits.time_limit_seconds = options.time_limit;
-  ctx_options.pmc_limits.num_threads = options.threads;
+  ctx_options.num_threads = options.threads;
   CostComposition composition = (options.cost == "width" ||
                                  options.cost == "width-then-fill")
                                     ? CostComposition::kMax
@@ -300,13 +301,22 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
   }
 
   RankedForestEnumerator e(*g, *cost, composition, ctx_options);
+  const ContextBuildInfo& info = e.init_info();
   if (!e.init_ok()) {
-    err << "initialization exceeded " << options.time_limit
-        << "s (graph not poly-MS feasible at this budget)\n";
+    err << "initialization " << info.TerminationName() << " after "
+        << info.total_seconds << "s (budget " << options.time_limit
+        << "s per stage; minseps " << info.minsep_seconds << "s/"
+        << info.num_minseps << ", pmcs " << info.pmc_seconds << "s/"
+        << info.num_pmcs << ") — graph not poly-MS feasible at this budget\n";
     return 2;
   }
   if (options.stats) {
     err << "graph: n=" << g->NumVertices() << " m=" << g->NumEdges() << "\n";
+    err << "init: total=" << info.total_seconds << "s minseps="
+        << info.minsep_seconds << "s (" << info.num_minseps << ") pmcs="
+        << info.pmc_seconds << "s (" << info.num_pmcs << ") blocks="
+        << info.blocks_seconds << "s (" << info.num_blocks << ") wiring="
+        << info.wiring_seconds << "s threads=" << options.threads << "\n";
   }
   for (long long rank = 1; rank <= options.top; ++rank) {
     auto t = e.Next();

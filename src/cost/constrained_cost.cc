@@ -2,11 +2,13 @@
 
 namespace mintri {
 
-CostValue ConstrainedCost::Combine(const CombineContext& ctx) const {
-  for (const VertexSet& u : exclude_) {
-    if (u.IsSubsetOf(ctx.omega)) return kInfiniteCost;
+bool CombineViolatesConstraints(const CombineContext& ctx,
+                                const std::vector<VertexSet>& include,
+                                const std::vector<VertexSet>& exclude) {
+  for (const VertexSet& u : exclude) {
+    if (u.IsSubsetOf(ctx.omega)) return true;
   }
-  for (const VertexSet& u : include_) {
+  for (const VertexSet& u : include) {
     if (!u.IsSubsetOf(ctx.block_vertices)) continue;
     if (u.IsSubsetOf(ctx.omega)) continue;
     bool inside_child = false;
@@ -16,7 +18,14 @@ CostValue ConstrainedCost::Combine(const CombineContext& ctx) const {
         break;
       }
     }
-    if (!inside_child) return kInfiniteCost;
+    if (!inside_child) return true;
+  }
+  return false;
+}
+
+CostValue ConstrainedCost::Combine(const CombineContext& ctx) const {
+  if (CombineViolatesConstraints(ctx, include_, exclude_)) {
+    return kInfiniteCost;
   }
   return base_.Combine(ctx);
 }

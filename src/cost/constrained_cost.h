@@ -7,6 +7,16 @@
 
 namespace mintri {
 
+/// The block-local satisfaction test of Section 6.1, shared by
+/// ConstrainedCost::Combine and the incremental MinTriangSolver so the two
+/// paths can never diverge: true iff choosing bag ctx.omega for this block
+/// violates an exclusion (U ⊆ Ω for some U ∈ X) or an inclusion (U ⊆ S∪C
+/// that is neither inside Ω nor inside a child block, whose own finite cost
+/// certifies the constraint there).
+bool CombineViolatesConstraints(const CombineContext& ctx,
+                                const std::vector<VertexSet>& include,
+                                const std::vector<VertexSet>& exclude);
+
 /// κ[I,X] of Section 6.1: wraps a split-monotone bag cost κ so that any
 /// triangulation violating the inclusion constraints I or the exclusion
 /// constraints X (both sets of minimal separators of G) gets cost ∞.

@@ -29,15 +29,9 @@ Triangulation CkkEnumerator::Extend(const std::vector<VertexSet>& seed) {
 }
 
 bool CkkEnumerator::Offer(Triangulation t) {
-  // Dedup by a 64-bit hash of the fill set, which identifies a minimal
-  // triangulation of g (collision odds are negligible at enumeration
-  // scales; the cross-validation tests compare full result sets).
-  std::vector<std::pair<int, int>> fill = t.FillEdgesSorted(g_);
-  size_t h = fill.size() * 1469598103934665603ULL;
-  for (const auto& [u, v] : fill) {
-    h = (h ^ (static_cast<size_t>(u) * 131071 + v)) * 1099511628211ULL;
-  }
-  if (!seen_fill_hashes_.insert(h).second) return false;
+  // Dedup on the fill set itself (hash-accelerated, equality-confirmed): a
+  // hash collision must never drop a distinct minimal triangulation.
+  if (!seen_fills_.Insert(t.FillEdgesSorted(g_))) return false;
   pending_.push_back(std::move(t));
   return true;
 }

@@ -1,10 +1,12 @@
 #ifndef MINTRI_ENUMERATION_CKK_H_
 #define MINTRI_ENUMERATION_CKK_H_
 
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cost/bag_cost.h"
@@ -13,6 +15,38 @@
 #include "triang/triangulation.h"
 
 namespace mintri {
+
+/// Deduplication of minimal triangulations by their sorted fill-edge sets
+/// (a bijective key for minimal triangulations of a fixed graph). Keyed by
+/// a 64-bit hash for speed but compared by the actual fill sets, so a hash
+/// collision costs one extra equality check instead of silently dropping a
+/// distinct triangulation (the bug this replaced: dedup on the bare hash).
+/// The hash is injectable so the collision path is unit-testable.
+class FillSetDedup {
+ public:
+  using FillSet = std::vector<std::pair<int, int>>;
+  using HashFn = std::function<size_t(const FillSet&)>;
+
+  FillSetDedup() : seen_(0, HashFn(&DefaultHash)) {}
+  explicit FillSetDedup(HashFn hash) : seen_(0, std::move(hash)) {}
+
+  /// True iff `fill` was not seen before (and is now recorded).
+  bool Insert(FillSet fill) { return seen_.insert(std::move(fill)).second; }
+
+  size_t Size() const { return seen_.size(); }
+
+  /// FNV-style mix over the edge list (the production hash).
+  static size_t DefaultHash(const FillSet& fill) {
+    size_t h = fill.size() * 1469598103934665603ULL;
+    for (const auto& [u, v] : fill) {
+      h = (h ^ (static_cast<size_t>(u) * 131071 + v)) * 1099511628211ULL;
+    }
+    return h;
+  }
+
+ private:
+  std::unordered_set<FillSet, HashFn> seen_;
+};
 
 /// The CKK baseline: the enumeration algorithm of Carmeli, Kenig and
 /// Kimelfeld (PODS 2017), which the paper compares against in Section 7.
@@ -76,7 +110,7 @@ class CkkEnumerator {
   std::vector<std::vector<VertexSet>> printed_separator_sets_;
   std::vector<VertexSet> known_seps_;
   std::unordered_set<VertexSet, VertexSetHash> known_sep_set_;
-  std::unordered_set<size_t> seen_fill_hashes_;
+  FillSetDedup seen_fills_;
   long long num_triangulator_calls_ = 0;
 };
 

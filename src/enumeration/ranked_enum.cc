@@ -3,28 +3,49 @@
 #include <algorithm>
 #include <cassert>
 
-#include "cost/constrained_cost.h"
-
 namespace mintri {
+
+namespace {
+
+void InsertSorted(std::vector<int>* v, int id) {
+  v->insert(std::upper_bound(v->begin(), v->end(), id), id);
+}
+
+void EraseSorted(std::vector<int>* v, int id) {
+  auto it = std::lower_bound(v->begin(), v->end(), id);
+  assert(it != v->end() && *it == id);
+  v->erase(it);
+}
+
+}  // namespace
 
 RankedTriangulationEnumerator::RankedTriangulationEnumerator(
     const TriangulationContext& ctx, const BagCost& cost)
-    : ctx_(ctx), cost_(cost) {
+    : ctx_(ctx), solver_(ctx, cost) {
   ++num_optimizer_calls_;
-  std::optional<Triangulation> first = MinTriang(ctx_, cost_);
+  std::optional<Triangulation> first = solver_.Solve({}, {});
   if (first.has_value()) {
-    Push(std::move(*first), {}, {});
+    Push(std::move(*first), -1);
   } else {
     exhausted_ = true;
   }
 }
 
-void RankedTriangulationEnumerator::Push(Triangulation t,
-                                         std::vector<int> include,
-                                         std::vector<int> exclude) {
-  Entry e{t.cost, sequence_++, std::move(t), std::move(include),
-          std::move(exclude)};
+void RankedTriangulationEnumerator::Push(Triangulation t, int constraints) {
+  Entry e{t.cost, sequence_++, std::move(t), constraints};
   queue_.push(std::move(e));
+}
+
+void RankedTriangulationEnumerator::CollectConstraints(
+    int node, std::vector<int>* include, std::vector<int>* exclude) const {
+  include->clear();
+  exclude->clear();
+  for (; node >= 0; node = arena_[node].parent) {
+    (arena_[node].is_include ? include : exclude)
+        ->push_back(arena_[node].sep_id);
+  }
+  std::sort(include->begin(), include->end());
+  std::sort(exclude->begin(), exclude->end());
 }
 
 std::optional<Triangulation> RankedTriangulationEnumerator::Next() {
@@ -32,11 +53,17 @@ std::optional<Triangulation> RankedTriangulationEnumerator::Next() {
     exhausted_ = true;
     return std::nullopt;
   }
-  Entry top = queue_.top();
+  // Moving out of top() is safe: the comparator only reads the trivially
+  // copyable cost/sequence fields, which moving leaves intact.
+  Entry top = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
+
+  std::vector<int> include, exclude;
+  CollectConstraints(top.constraints, &include, &exclude);
 
   // Split the remainder of [I, X] along MinSep(H) \ I (lines 7-13).
   std::vector<int> h_seps;
+  h_seps.reserve(top.triangulation.separators.size());
   for (const VertexSet& s : top.triangulation.separators) {
     int id = ctx_.SeparatorId(s);
     assert(id >= 0);  // every adhesion is a minimal separator of G
@@ -44,36 +71,34 @@ std::optional<Triangulation> RankedTriangulationEnumerator::Next() {
   }
   std::sort(h_seps.begin(), h_seps.end());
   std::vector<int> free_seps;
-  for (int id : h_seps) {
-    if (std::find(top.include.begin(), top.include.end(), id) ==
-        top.include.end()) {
-      free_seps.push_back(id);
-    }
-  }
+  std::set_difference(h_seps.begin(), h_seps.end(), include.begin(),
+                      include.end(), std::back_inserter(free_seps));
 
-  std::vector<int> include_i = top.include;
+  // Partition i: [I ∪ {S_1..S_{i-1}}, X ∪ {S_i}]. The include prefix is
+  // shared between siblings through the arena chain; each partition is one
+  // exclude node hanging off it. Consecutive solver calls differ by at most
+  // three separators, so each is an incremental repair.
+  int chain = top.constraints;
   for (size_t i = 0; i < free_seps.size(); ++i) {
-    std::vector<int> exclude_i = top.exclude;
-    exclude_i.push_back(free_seps[i]);
-
-    std::vector<VertexSet> include_sets, exclude_sets;
-    include_sets.reserve(include_i.size());
-    for (int id : include_i) include_sets.push_back(ctx_.minimal_separators()[id]);
-    exclude_sets.reserve(exclude_i.size());
-    for (int id : exclude_i) exclude_sets.push_back(ctx_.minimal_separators()[id]);
-
-    ConstrainedCost constrained(cost_, std::move(include_sets),
-                                std::move(exclude_sets));
+    const int s = free_seps[i];
+    InsertSorted(&exclude, s);
+    arena_.push_back({s, chain, false});
+    const int partition = static_cast<int>(arena_.size()) - 1;
     ++num_optimizer_calls_;
-    std::optional<Triangulation> h = MinTriang(ctx_, constrained);
+    std::optional<Triangulation> h = solver_.Solve(include, exclude);
     if (h.has_value()) {
-      // MinTriang returned a finite-cost triangulation, which under
-      // ConstrainedCost already implies H ⊨ [I_i, X_i] (the satisfaction
-      // test of line 12). Re-rank it by the *unconstrained* cost, which is
-      // equal for satisfying triangulations by Equation (2).
-      Push(std::move(*h), include_i, std::move(exclude_i));
+      // The solver returned a finite-cost triangulation, which under
+      // κ[I_i, X_i] already implies H ⊨ [I_i, X_i] (the satisfaction test
+      // of line 12), ranked by the *unconstrained* cost — equal for
+      // satisfying triangulations by Equation (2).
+      Push(std::move(*h), partition);
     }
-    include_i.push_back(free_seps[i]);
+    EraseSorted(&exclude, s);
+    if (i + 1 < free_seps.size()) {
+      arena_.push_back({s, chain, true});
+      chain = static_cast<int>(arena_.size()) - 1;
+      InsertSorted(&include, s);
+    }
   }
 
   return std::move(top.triangulation);

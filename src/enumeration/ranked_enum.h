@@ -8,7 +8,7 @@
 #include "cost/bag_cost.h"
 #include "enumeration/tree_decomposition.h"
 #include "triang/context.h"
-#include "triang/min_triang.h"
+#include "triang/min_triang_solver.h"
 
 namespace mintri {
 
@@ -25,8 +25,16 @@ namespace mintri {
 ///    writes "i = 1..k-1", but the k-th partition — triangulations that
 ///    contain S_1..S_{k-1} and avoid S_k — can be non-empty, e.g. on the
 ///    4-cycle, so we generate all k);
-///  - each partition's representative is MinTriang under κ[I_i, X_i]
-///    (ConstrainedCost), sharing this context's precomputation.
+///  - each partition's representative comes from the shared MinTriangSolver
+///    under κ[I_i, X_i]: sibling partitions differ by O(1) separators, so
+///    each of the k optimizer calls per output is an incremental DP repair,
+///    not a full pass (Section 7.1's amortization, extended from the
+///    initialization to the per-result work).
+///
+/// Constraint sets are not copied per queue entry: the Lawler–Murty tree is
+/// materialized once in a node arena (each node = one separator moved into
+/// I or X, plus a parent link), and entries store a single node index.
+/// Sibling partitions share their common include-prefix nodes.
 ///
 /// Pull-based: Next() returns the next-cheapest minimal triangulation, or
 /// std::nullopt when the enumeration is exhausted, so callers can stop at
@@ -39,16 +47,33 @@ class RankedTriangulationEnumerator {
 
   std::optional<Triangulation> Next();
 
-  /// Number of MinTriang invocations so far (for the experiment harness).
+  /// Number of (constrained) optimizer invocations so far (for the
+  /// experiment harness).
   long long num_optimizer_calls() const { return num_optimizer_calls_; }
 
+  /// Candidate evaluations performed by the underlying solver — divide by
+  /// num_optimizer_calls() to see the incremental repair at work (a full
+  /// DP pass would evaluate every candidate each call).
+  long long num_candidate_evals() const {
+    return solver_.num_candidate_evals();
+  }
+  /// Evaluations that reached the (expensive) base Combine; the rest
+  /// short-circuited on a constraint violation or infeasible child.
+  long long num_combine_calls() const { return solver_.num_combine_calls(); }
+
  private:
+  /// One separator moved into I (is_include) or X (!is_include), chained to
+  /// the parent constraint set. -1 parents terminate at [∅, ∅].
+  struct ConstraintNode {
+    int sep_id;
+    int parent;
+    bool is_include;
+  };
   struct Entry {
     CostValue cost;
     long long sequence;  // tie-break for deterministic order
     Triangulation triangulation;
-    std::vector<int> include;  // separator ids
-    std::vector<int> exclude;  // separator ids
+    int constraints;  // index into arena_, -1 for [∅, ∅]
   };
   struct EntryCompare {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -57,11 +82,14 @@ class RankedTriangulationEnumerator {
     }
   };
 
-  void Push(Triangulation t, std::vector<int> include,
-            std::vector<int> exclude);
+  void Push(Triangulation t, int constraints);
+  /// Decodes a constraint chain into sorted include/exclude id sets.
+  void CollectConstraints(int node, std::vector<int>* include,
+                          std::vector<int>* exclude) const;
 
   const TriangulationContext& ctx_;
-  const BagCost& cost_;
+  MinTriangSolver solver_;
+  std::vector<ConstraintNode> arena_;
   std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue_;
   long long sequence_ = 0;
   long long num_optimizer_calls_ = 0;

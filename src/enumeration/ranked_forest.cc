@@ -15,7 +15,9 @@ RankedForestEnumerator::RankedForestEnumerator(const Graph& g,
     int next = 0;
     comp_vertices.ForEach([&](int v) { comp.old_of_new[next++] = v; });
     Graph sub = g.InducedSubgraph(comp_vertices);
-    auto ctx = TriangulationContext::Build(sub, options);
+    ContextBuildInfo component_info;
+    auto ctx = TriangulationContext::Build(sub, options, &component_info);
+    init_info_.Accumulate(component_info);
     if (!ctx.has_value()) {
       init_ok_ = false;
       return;

@@ -37,6 +37,13 @@ class RankedForestEnumerator {
   /// always returns std::nullopt.
   bool init_ok() const { return init_ok_; }
 
+  /// Aggregated context-build breakdown over all components (stage seconds
+  /// and counts summed; on failure, termination names the stage that gave
+  /// up — the Fig. 5 "MS terminated" / "PMC terminated" taxonomy).
+  const ContextBuildInfo& init_info() const { return init_info_; }
+  /// Total initialization wall-clock over every component context.
+  double init_seconds() const { return init_info_.total_seconds; }
+
   /// The next-cheapest minimal triangulation of the whole graph (bags and
   /// fill edges in original vertex ids; the clique tree is a forest with
   /// one root per component).
@@ -59,6 +66,7 @@ class RankedForestEnumerator {
   const Graph& g_;
   CostComposition composition_;
   bool init_ok_ = true;
+  ContextBuildInfo init_info_;
   std::vector<Component> components_;
 
   struct QueueEntry {

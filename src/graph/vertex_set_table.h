@@ -20,12 +20,19 @@ namespace mintri {
 /// serial and parallel paths.
 class VertexSetTable {
  public:
+  /// Slot storage is allocated on the first Insert (an empty table costs
+  /// nothing — several per-graph structures hold one that often stays
+  /// empty on trivial inputs).
   explicit VertexSetTable(size_t initial_slots = 64)
-      : slots_(initial_slots, kEmptySlot), slot_mask_(initial_slots - 1) {}
+      : initial_slots_(initial_slots) {}
 
   /// Inserts s if absent. Returns true iff s was newly inserted; when
   /// `index` is non-null it receives s's arena index either way.
   bool Insert(const VertexSet& s, uint32_t* index = nullptr) {
+    if (slots_.empty()) {
+      slots_.assign(initial_slots_, kEmptySlot);
+      slot_mask_ = initial_slots_ - 1;
+    }
     const uint64_t h = s.Hash();
     size_t i = h & slot_mask_;
     while (true) {
@@ -45,6 +52,24 @@ class VertexSetTable {
     if (arena_.size() * 2 >= slots_.size()) Grow();
     if (index != nullptr) *index = new_index;
     return true;
+  }
+
+  /// Arena index of s, or -1 when s was never inserted. Thread-safe for
+  /// concurrent readers as long as no Insert runs — TriangulationContext
+  /// freezes its index tables before the parallel DP-wiring sweep reads
+  /// them from worker threads.
+  int Find(const VertexSet& s) const {
+    if (slots_.empty()) return -1;
+    const uint64_t h = s.Hash();
+    size_t i = h & slot_mask_;
+    while (true) {
+      const uint32_t slot = slots_[i];
+      if (slot == kEmptySlot) return -1;
+      if (hashes_[slot] == h && arena_[slot] == s) {
+        return static_cast<int>(slot);
+      }
+      i = (i + 1) & slot_mask_;
+    }
   }
 
   size_t Size() const { return arena_.size(); }
@@ -79,6 +104,7 @@ class VertexSetTable {
   std::vector<uint64_t> hashes_;
   std::vector<uint32_t> slots_;
   size_t slot_mask_ = 0;
+  size_t initial_slots_ = 64;
 };
 
 }  // namespace mintri

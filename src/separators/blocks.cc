@@ -1,6 +1,6 @@
 #include "separators/blocks.h"
 
-#include <unordered_set>
+#include "graph/vertex_set_table.h"
 
 namespace mintri {
 
@@ -23,11 +23,13 @@ std::vector<Block> BlocksOfSeparator(const Graph& g, const VertexSet& s) {
 std::vector<Block> AllFullBlocks(const Graph& g,
                                  const std::vector<VertexSet>& separators) {
   std::vector<Block> out;
-  std::unordered_set<VertexSet, VertexSetHash> seen_components;
+  // A full block is identified by its component (S = N(C)), so dedup on the
+  // shared hash-table layout keyed by the components' cached hashes.
+  VertexSetTable seen_components;
   for (const VertexSet& s : separators) {
     for (Block& b : BlocksOfSeparator(g, s)) {
       if (!b.full) continue;
-      if (seen_components.insert(b.component).second) {
+      if (seen_components.Insert(b.component)) {
         out.push_back(std::move(b));
       }
     }

@@ -1,45 +1,92 @@
 #include "triang/context.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
-#include <set>
 
+#include "parallel/thread_pool.h"
 #include "separators/blocks.h"
 #include "util/timer.h"
 
 namespace mintri {
 
+namespace {
+
+// Below this many PMCs the Step-4 sweep is too cheap to amortize a fork-join,
+// so it stays serial even when more threads were requested.
+constexpr size_t kMinParallelWiring = 64;
+
+// Everything Step 4 derives from one PMC Ω: its associated blocks in G
+// (its children at the root) and, for each distinct associated separator S,
+// the host block (S, C*) plus Ω's children inside the realization R(S, C*).
+// Computed independently per PMC (serially or on worker threads) and merged
+// in ascending-PMC order, so the wiring is identical at every thread count.
+struct PmcWiring {
+  bool usable = false;
+  std::vector<int> assoc_ids;
+  // (host block id, child block ids), ascending by associated separator id;
+  // minseps_ is sorted, so separator-id order equals VertexSet order.
+  std::vector<std::pair<int, std::vector<int>>> hosts;
+};
+
+}  // namespace
+
 std::optional<TriangulationContext> TriangulationContext::Build(
-    const Graph& g, const ContextOptions& options) {
+    const Graph& g, const ContextOptions& options, ContextBuildInfo* info) {
   assert(g.NumVertices() > 0 && g.IsConnected());
-  WallTimer timer;
+  WallTimer total_timer;
+  WallTimer stage_timer;
+  ContextBuildInfo bi;
   TriangulationContext ctx;
   ctx.graph_ = g;
   ctx.width_bound_ = options.width_bound;
 
-  // Step 1: minimal separators (Berry et al.), possibly size-bounded.
+  const auto finish = [&](ContextBuildInfo::Termination termination) {
+    bi.termination = termination;
+    bi.total_seconds = total_timer.Seconds();
+    ctx.build_info_ = bi;
+    if (info != nullptr) *info = bi;
+  };
+
+  // Step 1: minimal separators (Berry et al.), possibly size-bounded. The
+  // context-level num_threads knob routes the stage through the parallel
+  // engine unless a per-stage limit already asked for more.
+  EnumerationLimits sep_limits = options.separator_limits;
+  sep_limits.num_threads = std::max(sep_limits.num_threads,
+                                    options.num_threads);
   MinimalSeparatorsResult seps =
       options.width_bound >= 0
-          ? ListMinimalSeparatorsBounded(g, options.width_bound,
-                                         options.separator_limits)
-          : ListMinimalSeparators(g, options.separator_limits);
-  if (seps.status != EnumerationStatus::kComplete) return std::nullopt;
+          ? ListMinimalSeparatorsBounded(g, options.width_bound, sep_limits)
+          : ListMinimalSeparators(g, sep_limits);
+  bi.minsep_seconds = stage_timer.Seconds();
+  bi.num_minseps = seps.separators.size();
+  if (seps.status != EnumerationStatus::kComplete) {
+    finish(ContextBuildInfo::Termination::kMsTerminated);
+    return std::nullopt;
+  }
   ctx.minseps_ = std::move(seps.separators);
   std::sort(ctx.minseps_.begin(), ctx.minseps_.end());
-  for (size_t i = 0; i < ctx.minseps_.size(); ++i) {
-    ctx.separator_ids_[ctx.minseps_[i]] = static_cast<int>(i);
-  }
+  for (const VertexSet& s : ctx.minseps_) ctx.separator_index_.Insert(s);
 
   // Step 2: potential maximal cliques (Bouchitté–Todinca).
+  stage_timer.Reset();
   PmcOptions pmc_options;
   pmc_options.limits = options.pmc_limits;
+  pmc_options.limits.num_threads =
+      std::max(pmc_options.limits.num_threads, options.num_threads);
   if (options.width_bound >= 0) pmc_options.max_size = options.width_bound + 1;
   PmcResult pmcs = ListPotentialMaximalCliques(g, ctx.minseps_, pmc_options);
-  if (pmcs.status != EnumerationStatus::kComplete) return std::nullopt;
+  bi.pmc_seconds = stage_timer.Seconds();
+  bi.num_pmcs = pmcs.pmcs.size();
+  if (pmcs.status != EnumerationStatus::kComplete) {
+    finish(ContextBuildInfo::Termination::kPmcTerminated);
+    return std::nullopt;
+  }
   ctx.pmcs_ = std::move(pmcs.pmcs);
 
   // Step 3: full blocks, ascending by |S ∪ C| so that the DP sees children
   // before parents (children blocks are strictly smaller).
+  stage_timer.Reset();
   ctx.blocks_.clear();
   for (Block& b : AllFullBlocks(g, ctx.minseps_)) {
     BlockEntry e;
@@ -54,9 +101,15 @@ std::optional<TriangulationContext> TriangulationContext::Build(
               if (ca != cb) return ca < cb;
               return a.component < b.component;
             });
+  for (const BlockEntry& b : ctx.blocks_) ctx.block_index_.Insert(b.component);
+  // Separator id per block, so the wiring sweep dedups on ints.
+  std::vector<int> sep_id_of_block(ctx.blocks_.size());
   for (size_t i = 0; i < ctx.blocks_.size(); ++i) {
-    ctx.block_by_component_[ctx.blocks_[i].component] = static_cast<int>(i);
+    sep_id_of_block[i] = ctx.separator_index_.Find(ctx.blocks_[i].separator);
+    assert(sep_id_of_block[i] >= 0);
   }
+  bi.blocks_seconds = stage_timer.Seconds();
+  bi.num_blocks = ctx.blocks_.size();
 
   // Step 4: DP wiring. For each PMC Ω:
   //  - its associated blocks in G (components of G \ Ω with their
@@ -64,68 +117,108 @@ std::optional<TriangulationContext> TriangulationContext::Build(
   //  - for each associated minimal separator S of Ω, the block (S, C*) where
   //    C* ⊇ Ω \ S is a full block with S ⊂ Ω ⊆ S ∪ C*, and Ω's children
   //    inside R(S, C*) are the associated blocks whose component lies in C*.
-  ctx.root_candidates_.clear();
-  ctx.root_children_.clear();
-  for (size_t pi = 0; pi < ctx.pmcs_.size(); ++pi) {
+  // Each PMC's wiring only reads the frozen Step-1..3 tables, so the sweep
+  // forks over the PMCs; the serial path runs the same per-PMC routine.
+  stage_timer.Reset();
+  std::vector<PmcWiring> wiring(ctx.pmcs_.size());
+
+  const auto wire_one = [&](size_t pi, ComponentScanner& scanner,
+                            std::vector<int>& sep_scratch) {
     const VertexSet& omega = ctx.pmcs_[pi];
+    PmcWiring& w = wiring[pi];
 
     // Associated blocks of Ω in G. Every (N(C), C) with C a component of
     // G \ Ω is a full block (Section 5.1), so the lookup can only fail in
     // the bounded-width context, where an over-bound separator was never
     // materialized — then Ω is unusable and skipped.
-    std::vector<int> assoc_ids;
     bool missing = false;
-    for (const VertexSet& c : g.ComponentsAfterRemoving(omega)) {
-      int bid = ctx.BlockIdByComponent(c);
-      if (bid < 0) {
-        missing = true;
-        break;
-      }
-      assoc_ids.push_back(bid);
-    }
+    scanner.ForEachComponentWhile(
+        g, omega, [&](const VertexSet& c, const VertexSet&) {
+          int bid = ctx.block_index_.Find(c);
+          if (bid < 0) {
+            missing = true;
+            return false;
+          }
+          w.assoc_ids.push_back(bid);
+          return true;
+        });
     if (missing) {
       assert(options.width_bound >= 0);
-      continue;
+      w.assoc_ids.clear();
+      return;
     }
-
-    // Root candidate.
-    ctx.root_candidates_.push_back(static_cast<int>(pi));
-    ctx.root_children_.push_back(assoc_ids);
+    w.usable = true;
 
     // Per-block candidacy: one host block per distinct associated separator.
-    std::set<VertexSet> assoc_seps;
-    for (int bid : assoc_ids) assoc_seps.insert(ctx.blocks_[bid].separator);
-    for (const VertexSet& s : assoc_seps) {
+    sep_scratch.clear();
+    for (int bid : w.assoc_ids) sep_scratch.push_back(sep_id_of_block[bid]);
+    std::sort(sep_scratch.begin(), sep_scratch.end());
+    sep_scratch.erase(std::unique(sep_scratch.begin(), sep_scratch.end()),
+                      sep_scratch.end());
+    for (int sid : sep_scratch) {
+      const VertexSet& s = ctx.minseps_[sid];
       VertexSet rest = omega.Minus(s);
       assert(!rest.Empty());  // S = Ω is impossible for a PMC
-      VertexSet cstar = g.ComponentOf(rest.First(), s);
-      int host = ctx.BlockIdByComponent(cstar);
+      const VertexSet& cstar = scanner.ComponentOf(g, s, rest.First());
+      int host = ctx.block_index_.Find(cstar);
       if (host < 0) continue;  // bounded context: block not materialized
-      BlockEntry& block = ctx.blocks_[host];
-      assert(s.IsSubsetOf(omega) && omega.IsSubsetOf(block.vertices));
+      assert(s.IsSubsetOf(omega) &&
+             omega.IsSubsetOf(ctx.blocks_[host].vertices));
       std::vector<int> kids;
-      for (int bid : assoc_ids) {
+      for (int bid : w.assoc_ids) {
         if (cstar.Contains(ctx.blocks_[bid].component.First())) {
           kids.push_back(bid);
         }
       }
+      w.hosts.emplace_back(host, std::move(kids));
+    }
+  };
+
+  const int wiring_threads =
+      (options.num_threads > 1 && ctx.pmcs_.size() >= kMinParallelWiring)
+          ? options.num_threads
+          : 1;
+  if (wiring_threads > 1) {
+    std::atomic<size_t> cursor{0};
+    parallel::RunOnThreads(wiring_threads, [&](int) {
+      ComponentScanner scanner;
+      std::vector<int> sep_scratch;
+      constexpr size_t kChunk = 8;
+      while (true) {
+        size_t begin = cursor.fetch_add(kChunk, std::memory_order_relaxed);
+        if (begin >= wiring.size()) break;
+        size_t end = std::min(begin + kChunk, wiring.size());
+        for (size_t pi = begin; pi < end; ++pi) {
+          wire_one(pi, scanner, sep_scratch);
+        }
+      }
+    });
+  } else {
+    ComponentScanner scanner;
+    std::vector<int> sep_scratch;
+    for (size_t pi = 0; pi < wiring.size(); ++pi) {
+      wire_one(pi, scanner, sep_scratch);
+    }
+  }
+
+  // Deterministic merge, ascending by PMC then by associated separator.
+  ctx.root_candidates_.clear();
+  ctx.root_children_.clear();
+  for (size_t pi = 0; pi < wiring.size(); ++pi) {
+    PmcWiring& w = wiring[pi];
+    if (!w.usable) continue;
+    ctx.root_candidates_.push_back(static_cast<int>(pi));
+    ctx.root_children_.push_back(std::move(w.assoc_ids));
+    for (auto& [host, kids] : w.hosts) {
+      BlockEntry& block = ctx.blocks_[host];
       block.candidate_pmcs.push_back(static_cast<int>(pi));
       block.children.push_back(std::move(kids));
     }
   }
+  bi.wiring_seconds = stage_timer.Seconds();
 
-  ctx.init_seconds_ = timer.Seconds();
+  finish(ContextBuildInfo::Termination::kCompleted);
   return ctx;
-}
-
-int TriangulationContext::SeparatorId(const VertexSet& s) const {
-  auto it = separator_ids_.find(s);
-  return it == separator_ids_.end() ? -1 : it->second;
-}
-
-int TriangulationContext::BlockIdByComponent(const VertexSet& c) const {
-  auto it = block_by_component_.find(c);
-  return it == block_by_component_.end() ? -1 : it->second;
 }
 
 }  // namespace mintri

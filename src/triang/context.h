@@ -1,11 +1,12 @@
 #ifndef MINTRI_TRIANG_CONTEXT_H_
 #define MINTRI_TRIANG_CONTEXT_H_
 
+#include <cstddef>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/vertex_set_table.h"
 #include "pmc/potential_maximal_cliques.h"
 #include "separators/minimal_separators.h"
 
@@ -20,6 +21,71 @@ struct ContextOptions {
   /// only minimal separators of size <= width_bound and PMCs of size
   /// <= width_bound + 1 are computed and used.
   int width_bound = -1;
+  /// Worker threads for every stage of Build: the MinSep and PMC
+  /// enumerations run through the src/parallel/ engines, and the Step-4 DP
+  /// wiring sweep over PMCs is forked over the same thread count. 1 (the
+  /// default) is the serial path; a per-stage
+  /// separator_limits.num_threads / pmc_limits.num_threads still wins when
+  /// it asks for more. The built context is identical at every thread
+  /// count.
+  int num_threads = 1;
+};
+
+/// How (and how fast) a context build ended — the Fig. 5 taxonomy: a graph
+/// is "MS terminated" when the minimal-separator stage hit its limits and
+/// "PMC terminated" when the PMC stage did. Filled by
+/// TriangulationContext::Build even on failure, so callers can report which
+/// stage gave up and where the initialization time went.
+struct ContextBuildInfo {
+  enum class Termination {
+    kCompleted,      // the context was fully built
+    kMsTerminated,   // the minimal-separator enumeration hit its limits
+    kPmcTerminated,  // the PMC enumeration hit its limits
+  };
+  Termination termination = Termination::kCompleted;
+
+  // Per-stage wall-clock breakdown (seconds); stages that never ran are 0.
+  double minsep_seconds = 0;
+  double pmc_seconds = 0;
+  double blocks_seconds = 0;  // Step 3: full blocks
+  double wiring_seconds = 0;  // Step 4: DP wiring
+  double total_seconds = 0;
+
+  size_t num_minseps = 0;
+  size_t num_pmcs = 0;
+  size_t num_blocks = 0;
+
+  /// The failure names ("ms-terminated" / "pmc-terminated") are the
+  /// BENCH_core.json status labels for failed builds; a successful build
+  /// reports "completed" here, which the bench pipeline never emits (it
+  /// uses its own "complete"/"truncated" for successful runs).
+  const char* TerminationName() const {
+    switch (termination) {
+      case Termination::kMsTerminated:
+        return "ms-terminated";
+      case Termination::kPmcTerminated:
+        return "pmc-terminated";
+      default:
+        return "completed";
+    }
+  }
+
+  /// Accumulates another build's stage times/counts (used by the ranked
+  /// forest layer, which builds one context per connected component). The
+  /// termination becomes the first non-completed stage seen.
+  void Accumulate(const ContextBuildInfo& other) {
+    minsep_seconds += other.minsep_seconds;
+    pmc_seconds += other.pmc_seconds;
+    blocks_seconds += other.blocks_seconds;
+    wiring_seconds += other.wiring_seconds;
+    total_seconds += other.total_seconds;
+    num_minseps += other.num_minseps;
+    num_pmcs += other.num_pmcs;
+    num_blocks += other.num_blocks;
+    if (termination == Termination::kCompleted) {
+      termination = other.termination;
+    }
+  }
 };
 
 /// The "initialization step" of the paper (Section 7.1): the minimal
@@ -43,10 +109,12 @@ class TriangulationContext {
   };
 
   /// Builds the context. Returns std::nullopt when a limit was hit (the
-  /// graph is "MS terminated" or "not terminated" in the Fig. 5 sense).
+  /// graph is "MS terminated" or "PMC terminated" in the Fig. 5 sense);
+  /// when `info` is non-null it receives the stage breakdown either way.
   /// The graph must be connected and non-empty.
   static std::optional<TriangulationContext> Build(
-      const Graph& g, const ContextOptions& options = {});
+      const Graph& g, const ContextOptions& options = {},
+      ContextBuildInfo* info = nullptr);
 
   const Graph& graph() const { return graph_; }
   const std::vector<VertexSet>& minimal_separators() const { return minseps_; }
@@ -59,12 +127,18 @@ class TriangulationContext {
     return root_children_;
   }
   int width_bound() const { return width_bound_; }
-  double init_seconds() const { return init_seconds_; }
+  double init_seconds() const { return build_info_.total_seconds; }
+  /// Stage-by-stage initialization breakdown of this (successful) build.
+  const ContextBuildInfo& build_info() const { return build_info_; }
 
   /// Index of a minimal separator in minimal_separators(), or -1.
-  int SeparatorId(const VertexSet& s) const;
+  int SeparatorId(const VertexSet& s) const {
+    return separator_index_.Find(s);
+  }
   /// Index of the full block with component c, or -1.
-  int BlockIdByComponent(const VertexSet& c) const;
+  int BlockIdByComponent(const VertexSet& c) const {
+    return block_index_.Find(c);
+  }
 
  private:
   Graph graph_;
@@ -73,10 +147,12 @@ class TriangulationContext {
   std::vector<BlockEntry> blocks_;  // sorted by |S ∪ C| ascending
   std::vector<int> root_candidates_;
   std::vector<std::vector<int>> root_children_;
-  std::unordered_map<VertexSet, int, VertexSetHash> separator_ids_;
-  std::unordered_map<VertexSet, int, VertexSetHash> block_by_component_;
+  // Arena-index tables: entry i of each table is minseps_[i] /
+  // blocks_[i].component, so Find doubles as the id lookup.
+  VertexSetTable separator_index_;
+  VertexSetTable block_index_;
   int width_bound_ = -1;
-  double init_seconds_ = 0;
+  ContextBuildInfo build_info_;
 };
 
 }  // namespace mintri

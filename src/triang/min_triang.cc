@@ -1,114 +1,15 @@
 #include "triang/min_triang.h"
 
-#include <cassert>
-#include <cmath>
-#include <set>
+#include "triang/min_triang_solver.h"
 
 namespace mintri {
 
-namespace {
-
-// Evaluates one candidate Ω for a block (or the root). Returns ∞ when a
-// child block is infeasible.
-CostValue CandidateCost(const TriangulationContext& ctx, const BagCost& cost,
-                        const std::vector<CostValue>& block_values,
-                        const VertexSet& omega, const VertexSet& separator,
-                        const VertexSet& block_vertices,
-                        const std::vector<int>& child_ids,
-                        std::vector<const VertexSet*>* child_blocks_buf,
-                        std::vector<CostValue>* child_costs_buf) {
-  child_blocks_buf->clear();
-  child_costs_buf->clear();
-  for (int cid : child_ids) {
-    CostValue v = block_values[cid];
-    if (std::isinf(v)) return kInfiniteCost;
-    child_blocks_buf->push_back(&ctx.blocks()[cid].vertices);
-    child_costs_buf->push_back(v);
-  }
-  CombineContext cc{ctx.graph(),      omega,
-                    separator,        block_vertices,
-                    *child_blocks_buf, *child_costs_buf};
-  return cost.Combine(cc);
-}
-
-}  // namespace
-
 std::optional<Triangulation> MinTriang(const TriangulationContext& ctx,
                                        const BagCost& cost) {
-  const Graph& g = ctx.graph();
-  const auto& blocks = ctx.blocks();
-  const int n = g.NumVertices();
-
-  std::vector<CostValue> value(blocks.size(), kInfiniteCost);
-  std::vector<int> choice(blocks.size(), -1);
-  std::vector<const VertexSet*> child_blocks_buf;
-  std::vector<CostValue> child_costs_buf;
-
-  // Blocks are sorted ascending by |S ∪ C|, and every child block is
-  // strictly smaller than its host, so a single forward pass suffices.
-  for (size_t i = 0; i < blocks.size(); ++i) {
-    const auto& block = blocks[i];
-    for (size_t k = 0; k < block.candidate_pmcs.size(); ++k) {
-      CostValue v = CandidateCost(
-          ctx, cost, value, ctx.pmcs()[block.candidate_pmcs[k]],
-          block.separator, block.vertices, block.children[k],
-          &child_blocks_buf, &child_costs_buf);
-      if (v < value[i]) {
-        value[i] = v;
-        choice[i] = static_cast<int>(k);
-      }
-    }
-  }
-
-  // Root: Ω(G) := argmin over all PMCs (line 6 of Figure 3).
-  const VertexSet empty_sep(n);
-  const VertexSet all_vertices = g.Vertices();
-  CostValue best = kInfiniteCost;
-  int best_k = -1;
-  for (size_t k = 0; k < ctx.root_candidates().size(); ++k) {
-    CostValue v = CandidateCost(ctx, cost, value,
-                                ctx.pmcs()[ctx.root_candidates()[k]],
-                                empty_sep, all_vertices,
-                                ctx.root_children()[k], &child_blocks_buf,
-                                &child_costs_buf);
-    if (v < best) {
-      best = v;
-      best_k = static_cast<int>(k);
-    }
-  }
-  if (best_k < 0 || std::isinf(best)) return std::nullopt;
-
-  // Reconstruct the clique tree from the per-block choices (the Appendix A
-  // construction: one bag per block, rooted at Ω(G)).
-  Triangulation t;
-  t.cost = best;
-  std::set<VertexSet> seps;
-
-  struct Frame {
-    int block_id;   // -1 for root
-    int parent_bag;
-  };
-  std::vector<Frame> stack;
-  t.bags.push_back(ctx.pmcs()[ctx.root_candidates()[best_k]]);
-  t.parent.push_back(-1);
-  for (int cid : ctx.root_children()[best_k]) stack.push_back({cid, 0});
-  while (!stack.empty()) {
-    Frame f = stack.back();
-    stack.pop_back();
-    const auto& block = blocks[f.block_id];
-    int k = choice[f.block_id];
-    assert(k >= 0);
-    int bag_index = static_cast<int>(t.bags.size());
-    t.bags.push_back(ctx.pmcs()[block.candidate_pmcs[k]]);
-    t.parent.push_back(f.parent_bag);
-    seps.insert(block.separator);
-    for (int cid : block.children[k]) stack.push_back({cid, bag_index});
-  }
-  t.separators.assign(seps.begin(), seps.end());
-
-  t.filled = g;
-  for (const VertexSet& bag : t.bags) t.filled.SaturateSet(bag);
-  return t;
+  // One full DP pass of the stateful solver (constraints, if any, live
+  // inside `cost` — e.g. a ConstrainedCost — exactly as before).
+  MinTriangSolver solver(ctx, cost);
+  return solver.Solve({}, {});
 }
 
 }  // namespace mintri

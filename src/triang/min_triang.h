@@ -23,6 +23,11 @@ namespace mintri {
 /// When the context was built with a width bound b this *is* MinTriangB
 /// ⟨b, κ⟩ (Theorem 5.6): the context only materializes separators of size
 /// ≤ b and PMCs of size ≤ b+1.
+///
+/// This is a thin full-solve wrapper over MinTriangSolver
+/// (triang/min_triang_solver.h); callers that issue many solves under
+/// shifting [I,X] constraints (RankedTriang) should hold a solver instead
+/// and let it repair the tables incrementally.
 std::optional<Triangulation> MinTriang(const TriangulationContext& ctx,
                                        const BagCost& cost);
 

@@ -1,0 +1,291 @@
+#include "triang/min_triang_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "cost/constrained_cost.h"
+
+namespace mintri {
+
+namespace {
+
+// a \ b for sorted id vectors.
+void SetDiffInto(const std::vector<int>& a, const std::vector<int>& b,
+                 std::vector<int>* out) {
+  out->clear();
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(*out));
+}
+
+}  // namespace
+
+MinTriangSolver::MinTriangSolver(const TriangulationContext& ctx,
+                                 const BagCost& cost)
+    : ctx_(ctx),
+      cost_(cost),
+      empty_separator_(ctx.graph().NumVertices()),
+      all_vertices_(ctx.graph().Vertices()) {
+  const int num_nodes = Root() + 1;
+  cand_values_.resize(num_nodes);
+  cand_dirty_.resize(num_nodes);
+  cand_blocked_.resize(num_nodes);
+  for (int node = 0; node < num_nodes; ++node) {
+    const size_t k = Candidates(node).size();
+    cand_values_[node].assign(k, kInfiniteCost);
+    cand_dirty_[node].assign(k, 0);
+    cand_blocked_[node].assign(k, 0);
+    num_candidates_total_ += k;
+  }
+  value_.assign(num_nodes, kInfiniteCost);
+  choice_.assign(num_nodes, -1);
+  node_seeded_.assign(num_nodes, 0);
+  node_forced_.assign(num_nodes, 0);
+  node_touched_.assign(num_nodes, 0);
+  value_changed_.assign(num_nodes, 0);
+}
+
+void MinTriangSolver::BuildHosts() {
+  hosts_built_ = true;
+  hosts_.resize(ctx_.blocks().size());
+  const int num_nodes = Root() + 1;
+  for (int node = 0; node < num_nodes; ++node) {
+    for (const std::vector<int>& kids : Children(node)) {
+      for (int cid : kids) hosts_[cid].push_back(node);
+    }
+  }
+  for (std::vector<int>& h : hosts_) {
+    std::sort(h.begin(), h.end());
+    h.erase(std::unique(h.begin(), h.end()), h.end());
+  }
+}
+
+const MinTriangSolver::SepGeometry& MinTriangSolver::GeometryFor(int sep_id) {
+  auto it = sep_geometry_.find(sep_id);
+  if (it != sep_geometry_.end()) return it->second;
+  // One scan over every candidate, done once per separator ever used in a
+  // constraint; afterwards every delta for this separator walks the exact
+  // affected lists with no subset tests at all.
+  SepGeometry geo;
+  const VertexSet& s = ctx_.minimal_separators()[sep_id];
+  const int root = Root();
+  for (int node = 0; node <= root; ++node) {
+    if (!s.IsSubsetOf(NodeVertices(node))) continue;
+    const std::vector<int>& cands = Candidates(node);
+    const std::vector<std::vector<int>>& children = Children(node);
+    for (size_t k = 0; k < cands.size(); ++k) {
+      if (s.IsSubsetOf(ctx_.pmcs()[cands[k]])) {
+        // Exclusion geometry: the κ[I,X] exclusion test reads S here.
+        geo.exclusion.push_back({node, static_cast<int>(k)});
+      } else {
+        // Inclusion geometry: S fits the block but is neither inside Ω nor
+        // inside a child block — the only place the inclusion test flips.
+        bool inside_child = false;
+        for (int cid : children[k]) {
+          if (s.IsSubsetOf(ctx_.blocks()[cid].vertices)) {
+            inside_child = true;
+            break;
+          }
+        }
+        if (!inside_child) {
+          geo.inclusion.push_back({node, static_cast<int>(k)});
+        }
+      }
+    }
+  }
+  geo.exclusion.shrink_to_fit();
+  geo.inclusion.shrink_to_fit();
+  return sep_geometry_.emplace(sep_id, std::move(geo)).first->second;
+}
+
+CostValue MinTriangSolver::EvalCandidate(int node, size_t k) {
+  ++num_candidate_evals_;
+  child_blocks_buf_.clear();
+  child_costs_buf_.clear();
+  for (int cid : Children(node)[k]) {
+    CostValue v = value_[cid];
+    if (std::isinf(v)) return kInfiniteCost;
+    child_blocks_buf_.push_back(&ctx_.blocks()[cid].vertices);
+    child_costs_buf_.push_back(v);
+  }
+  CombineContext cc{ctx_.graph(),
+                    ctx_.pmcs()[Candidates(node)[k]],
+                    NodeSeparator(node),
+                    NodeVertices(node),
+                    child_blocks_buf_,
+                    child_costs_buf_};
+  if (CombineViolatesConstraints(cc, include_sets_, exclude_sets_)) {
+    return kInfiniteCost;
+  }
+  ++num_combine_calls_;
+  return cost_.Combine(cc);
+}
+
+void MinTriangSolver::ApplyConstraintDelta(
+    const std::vector<int>& added_exc, const std::vector<int>& added_inc,
+    const std::vector<int>& removed_exc, const std::vector<int>& removed_inc,
+    bool full) {
+  // Additions can only push candidate values to ∞: a newly-blocked finite
+  // candidate drops to ∞ with no evaluation, an already-∞ one stays put.
+  // blocked[k] — how many current constraints candidate k violates — stays
+  // exact under adds/removes because each (separator, candidate) geometry
+  // is static, and blocked[k] > 0 ⟺ CombineViolatesConstraints there.
+  const auto add = [&](const std::vector<std::pair<int, int>>& affected) {
+    for (const auto& [node, k] : affected) {
+      if (++cand_blocked_[node][k] == 1 && !full &&
+          !std::isinf(cand_values_[node][k])) {
+        cand_values_[node][k] = kInfiniteCost;
+        node_forced_[node] = epoch_;
+      }
+    }
+  };
+  // Removals can only revive a candidate, and only once its *last* blocking
+  // constraint goes away; until then no evaluation is needed.
+  const auto remove = [&](const std::vector<std::pair<int, int>>& affected) {
+    for (const auto& [node, k] : affected) {
+      if (--cand_blocked_[node][k] == 0) {
+        cand_dirty_[node][k] = epoch_;
+        node_seeded_[node] = epoch_;
+      }
+    }
+  };
+  for (int id : added_exc) add(GeometryFor(id).exclusion);
+  for (int id : added_inc) add(GeometryFor(id).inclusion);
+  for (int id : removed_exc) remove(GeometryFor(id).exclusion);
+  for (int id : removed_inc) remove(GeometryFor(id).inclusion);
+}
+
+std::optional<Triangulation> MinTriangSolver::Solve(
+    const std::vector<int>& include_ids, const std::vector<int>& exclude_ids) {
+  assert(std::is_sorted(include_ids.begin(), include_ids.end()));
+  assert(std::is_sorted(exclude_ids.begin(), exclude_ids.end()));
+  const std::vector<VertexSet>& separators = ctx_.minimal_separators();
+
+  // Separators that moved in or out of I / X since the last solve.
+  std::vector<int> inc_added, inc_removed, exc_added, exc_removed;
+  SetDiffInto(include_ids, include_ids_, &inc_added);
+  SetDiffInto(include_ids_, include_ids, &inc_removed);
+  SetDiffInto(exclude_ids, exclude_ids_, &exc_added);
+  SetDiffInto(exclude_ids_, exclude_ids, &exc_removed);
+  const bool any_delta = !inc_added.empty() || !inc_removed.empty() ||
+                         !exc_added.empty() || !exc_removed.empty();
+
+  const bool full = !solved_once_;
+  include_ids_ = include_ids;
+  exclude_ids_ = exclude_ids;
+  include_sets_.clear();
+  exclude_sets_.clear();
+  for (int id : include_ids_) include_sets_.push_back(separators[id]);
+  for (int id : exclude_ids_) exclude_sets_.push_back(separators[id]);
+
+  if (full || any_delta) {
+    // The reverse DP edges are only needed once repairs start cascading, so
+    // the one-shot MinTriang wrapper (a single full pass) never builds them.
+    if (!full && !hosts_built_) BuildHosts();
+    ++epoch_;
+    ApplyConstraintDelta(exc_added, inc_added, exc_removed, inc_removed, full);
+
+    const int root = Root();
+    // Blocks are sorted ascending by |S ∪ C| and every child is strictly
+    // smaller than its host, so one forward pass (root last) sees every
+    // child's repaired value before any host that depends on it.
+    for (int node = 0; node <= root; ++node) {
+      const bool seeded = node_seeded_[node] == epoch_;
+      const bool forced = node_forced_[node] == epoch_;
+      const bool child_changed = !full && node_touched_[node] == epoch_;
+      if (!full && !seeded && !forced && !child_changed) continue;
+
+      const std::vector<int>& cands = Candidates(node);
+      if (cands.empty()) continue;
+      const std::vector<std::vector<int>>& children = Children(node);
+      std::vector<CostValue>& values = cand_values_[node];
+      std::vector<uint32_t>& dirty = cand_dirty_[node];
+      std::vector<uint32_t>& blocked = cand_blocked_[node];
+
+      bool recomputed = forced;
+      for (size_t k = 0; k < cands.size(); ++k) {
+        bool d = full || (seeded && dirty[k] == epoch_);
+        if (!d && child_changed) {
+          for (int cid : children[k]) {
+            if (value_changed_[cid] == epoch_) {
+              d = true;
+              break;
+            }
+          }
+        }
+        if (!d) continue;
+        // A blocked candidate is ∞ by constraint violation alone — no need
+        // to evaluate (EvalCandidate would reach the same conclusion).
+        values[k] = blocked[k] > 0 ? kInfiniteCost : EvalCandidate(node, k);
+        recomputed = true;
+      }
+      if (!recomputed) continue;
+
+      // Re-pick the node optimum exactly as the full DP does: the first
+      // strict improvement wins, so ties resolve to the smallest k.
+      CostValue best = kInfiniteCost;
+      int best_k = -1;
+      for (size_t k = 0; k < cands.size(); ++k) {
+        if (values[k] < best) {
+          best = values[k];
+          best_k = static_cast<int>(k);
+        }
+      }
+      choice_[node] = best_k;
+      if (best != value_[node]) {
+        value_[node] = best;
+        value_changed_[node] = epoch_;
+        // On a full pass everything is evaluated anyway (and hosts_ may not
+        // be built yet), so the cascade marking is only for repairs.
+        if (!full && node != root) {
+          for (int host : hosts_[node]) node_touched_[host] = epoch_;
+        }
+      }
+    }
+    solved_once_ = true;
+  }
+
+  if (choice_[Root()] < 0 || std::isinf(value_[Root()])) return std::nullopt;
+  return Reconstruct();
+}
+
+Triangulation MinTriangSolver::Reconstruct() {
+  const Graph& g = ctx_.graph();
+  const std::vector<TriangulationContext::BlockEntry>& blocks = ctx_.blocks();
+  Triangulation t;
+  t.cost = value_[Root()];
+
+  struct Frame {
+    int block_id;
+    int parent_bag;
+  };
+  std::vector<Frame> stack;
+  const int root_k = choice_[Root()];
+  t.bags.push_back(ctx_.pmcs()[ctx_.root_candidates()[root_k]]);
+  t.parent.push_back(-1);
+  for (int cid : ctx_.root_children()[root_k]) stack.push_back({cid, 0});
+  std::vector<VertexSet> seps;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const TriangulationContext::BlockEntry& block = blocks[f.block_id];
+    int k = choice_[f.block_id];
+    assert(k >= 0);
+    int bag_index = static_cast<int>(t.bags.size());
+    t.bags.push_back(ctx_.pmcs()[block.candidate_pmcs[k]]);
+    t.parent.push_back(f.parent_bag);
+    seps.push_back(block.separator);
+    for (int cid : block.children[k]) stack.push_back({cid, bag_index});
+  }
+  // Distinct adhesions, in the canonical (VertexSet <) order the previous
+  // std::set-based reconstruction produced — without the per-node churn.
+  std::sort(seps.begin(), seps.end());
+  seps.erase(std::unique(seps.begin(), seps.end()), seps.end());
+  t.separators = std::move(seps);
+
+  t.filled = g;
+  for (const VertexSet& bag : t.bags) t.filled.SaturateSet(bag);
+  return t;
+}
+
+}  // namespace mintri

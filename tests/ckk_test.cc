@@ -87,6 +87,27 @@ TEST(CkkTest, CostAnnotationWhenRequested) {
   }
 }
 
+TEST(CkkTest, FillSetDedupSurvivesHashCollisions) {
+  // Regression: the enumerator used to dedup printed triangulations on the
+  // bare 64-bit fill-set hash, so a collision silently dropped a distinct
+  // minimal triangulation. Force every hash to collide and check that the
+  // fill sets themselves are still told apart.
+  FillSetDedup dedup([](const FillSetDedup::FillSet&) { return size_t{42}; });
+  FillSetDedup::FillSet a = {{0, 1}};
+  FillSetDedup::FillSet b = {{0, 2}};
+  FillSetDedup::FillSet c = {{0, 1}, {1, 2}};
+  EXPECT_TRUE(dedup.Insert(a));
+  EXPECT_TRUE(dedup.Insert(b));  // same hash, different fill set
+  EXPECT_TRUE(dedup.Insert(c));
+  EXPECT_FALSE(dedup.Insert(a));
+  EXPECT_FALSE(dedup.Insert(b));
+  EXPECT_FALSE(dedup.Insert(c));
+  EXPECT_EQ(dedup.Size(), 3u);
+
+  // The production hash separates these (sanity, not a guarantee).
+  EXPECT_NE(FillSetDedup::DefaultHash(a), FillSetDedup::DefaultHash(b));
+}
+
 TEST(CkkTest, NoOrderGuaranteeButCountsTriangulatorCalls) {
   Graph g = workloads::Grid(3, 3);
   CkkEnumerator e(g);

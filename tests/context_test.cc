@@ -79,6 +79,103 @@ TEST(ContextTest, SeparatorLimitsReported) {
   EXPECT_FALSE(TriangulationContext::Build(g, options).has_value());
 }
 
+TEST(ContextTest, BuildInfoOnSuccess) {
+  Graph g = testutil::PaperExampleGraph();
+  ContextBuildInfo info;
+  auto ctx = TriangulationContext::Build(g, {}, &info);
+  ASSERT_TRUE(ctx.has_value());
+  EXPECT_EQ(info.termination, ContextBuildInfo::Termination::kCompleted);
+  EXPECT_STREQ(info.TerminationName(), "completed");
+  EXPECT_EQ(info.num_minseps, 3u);
+  EXPECT_EQ(info.num_pmcs, 6u);
+  EXPECT_EQ(info.num_blocks, 7u);
+  EXPECT_GT(info.total_seconds, 0.0);
+  EXPECT_GE(info.total_seconds, info.minsep_seconds);
+  EXPECT_GE(info.total_seconds, info.pmc_seconds);
+  // The context carries the same breakdown.
+  EXPECT_EQ(ctx->build_info().num_pmcs, 6u);
+  EXPECT_EQ(ctx->init_seconds(), ctx->build_info().total_seconds);
+}
+
+TEST(ContextTest, BuildInfoReportsMsTermination) {
+  Graph g = workloads::Grid(4, 4);
+  ContextOptions options;
+  options.separator_limits.max_results = 3;
+  ContextBuildInfo info;
+  EXPECT_FALSE(TriangulationContext::Build(g, options, &info).has_value());
+  EXPECT_EQ(info.termination, ContextBuildInfo::Termination::kMsTerminated);
+  EXPECT_STREQ(info.TerminationName(), "ms-terminated");
+  EXPECT_GT(info.total_seconds, 0.0);
+  EXPECT_EQ(info.num_pmcs, 0u);  // the PMC stage never ran
+}
+
+TEST(ContextTest, BuildInfoReportsPmcTermination) {
+  Graph g = workloads::Grid(4, 4);
+  ContextOptions options;
+  options.pmc_limits.max_results = 2;
+  ContextBuildInfo info;
+  EXPECT_FALSE(TriangulationContext::Build(g, options, &info).has_value());
+  EXPECT_EQ(info.termination, ContextBuildInfo::Termination::kPmcTerminated);
+  EXPECT_STREQ(info.TerminationName(), "pmc-terminated");
+  EXPECT_GT(info.num_minseps, 0u);  // the separator stage completed
+}
+
+TEST(ContextTest, ParallelBuildIsIdentical) {
+  // The num_threads knob must not change a single byte of the context:
+  // separator/PMC stages are deterministic-complete and the Step-4 wiring
+  // merges in serial order regardless of which worker computed it.
+  std::vector<Graph> graphs = {workloads::Grid(4, 4), workloads::Grid(3, 5)};
+  for (int seed = 0; seed < 3; ++seed) {
+    graphs.push_back(workloads::ConnectedErdosRenyi(14, 0.3, 61000 + seed));
+  }
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Graph& g = graphs[gi];
+    auto serial = TriangulationContext::Build(g);
+    ContextOptions parallel_options;
+    parallel_options.num_threads = 4;
+    auto parallel = TriangulationContext::Build(g, parallel_options);
+    ASSERT_TRUE(serial.has_value() && parallel.has_value());
+    EXPECT_EQ(serial->minimal_separators(), parallel->minimal_separators());
+    EXPECT_EQ(serial->pmcs(), parallel->pmcs());
+    EXPECT_EQ(serial->root_candidates(), parallel->root_candidates());
+    EXPECT_EQ(serial->root_children(), parallel->root_children());
+    ASSERT_EQ(serial->blocks().size(), parallel->blocks().size());
+    for (size_t i = 0; i < serial->blocks().size(); ++i) {
+      const auto& a = serial->blocks()[i];
+      const auto& b = parallel->blocks()[i];
+      EXPECT_EQ(a.separator, b.separator) << "graph " << gi << " block " << i;
+      EXPECT_EQ(a.component, b.component);
+      EXPECT_EQ(a.vertices, b.vertices);
+      EXPECT_EQ(a.candidate_pmcs, b.candidate_pmcs);
+      EXPECT_EQ(a.children, b.children);
+    }
+    for (size_t i = 0; i < serial->minimal_separators().size(); ++i) {
+      EXPECT_EQ(parallel->SeparatorId(serial->minimal_separators()[i]),
+                static_cast<int>(i));
+    }
+  }
+}
+
+TEST(ContextTest, ParallelBoundedBuildIsIdentical) {
+  Graph g = workloads::Grid(4, 4);
+  ContextOptions serial_options;
+  serial_options.width_bound = 4;
+  auto serial = TriangulationContext::Build(g, serial_options);
+  ContextOptions parallel_options = serial_options;
+  parallel_options.num_threads = 4;
+  auto parallel = TriangulationContext::Build(g, parallel_options);
+  ASSERT_TRUE(serial.has_value() && parallel.has_value());
+  EXPECT_EQ(serial->minimal_separators(), parallel->minimal_separators());
+  EXPECT_EQ(serial->pmcs(), parallel->pmcs());
+  EXPECT_EQ(serial->root_candidates(), parallel->root_candidates());
+  ASSERT_EQ(serial->blocks().size(), parallel->blocks().size());
+  for (size_t i = 0; i < serial->blocks().size(); ++i) {
+    EXPECT_EQ(serial->blocks()[i].candidate_pmcs,
+              parallel->blocks()[i].candidate_pmcs);
+    EXPECT_EQ(serial->blocks()[i].children, parallel->blocks()[i].children);
+  }
+}
+
 TEST(ContextTest, SeparatorIdRoundTrip) {
   Graph g = testutil::PaperExampleGraph();
   auto ctx = TriangulationContext::Build(g);

@@ -34,6 +34,7 @@
 #include "separators/minimal_separators.h"
 #include "triang/context.h"
 #include "triang/min_triang.h"
+#include "triang/min_triang_solver.h"
 #include "triang/triangulation.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -77,6 +78,7 @@
 #include "separators/minimal_separators.h"
 #include "triang/context.h"
 #include "triang/min_triang.h"
+#include "triang/min_triang_solver.h"
 #include "triang/triangulation.h"
 #include "util/rng.h"
 #include "util/stats.h"
