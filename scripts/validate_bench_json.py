@@ -31,13 +31,19 @@ ENTRY = {
     "wall_ms": float,
     "results_per_sec": float,
     "init_seconds": float,
+    "cost": str,
+    "cache_hit_rate": float,
     "status": str,
 }
 
-KNOWN_SUITES = {"minseps", "pmc", "enum", "ranked"}
+KNOWN_SUITES = {"minseps", "pmc", "enum", "ranked", "appcost"}
 # ms-terminated / pmc-terminated are the Fig. 5 taxonomy of which context
-# initialization stage hit its limits.
-KNOWN_STATUSES = {"complete", "truncated", "ms-terminated", "pmc-terminated"}
+# initialization stage hit its limits; cost-error marks an appcost case
+# whose cost model could not be constructed.
+KNOWN_STATUSES = {"complete", "truncated", "ms-terminated", "pmc-terminated",
+                  "cost-error"}
+# The application costs the appcost suite ranks by.
+APPCOST_COSTS = {"hypertree", "fhw", "state-space"}
 
 
 def fail(message):
@@ -103,6 +109,13 @@ def main():
             fail(f"{where}: negative timing")
         if entry["init_seconds"] < 0:
             fail(f"{where}: negative init_seconds")
+        if not 0 <= entry["cache_hit_rate"] <= 1:
+            fail(f"{where}: cache_hit_rate {entry['cache_hit_rate']} "
+                 f"outside [0, 1]")
+        if entry["suite"] == "appcost":
+            if entry["cost"] not in APPCOST_COSTS:
+                fail(f"{where}: appcost entry has cost {entry['cost']!r}, "
+                     f"expected one of {sorted(APPCOST_COSTS)}")
 
     per_suite = {s: sum(1 for e in entries if e["suite"] == s)
                  for s in suites}

@@ -5,13 +5,17 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "cost/cost_model_registry.h"
 #include "cost/standard_costs.h"
 #include "enumeration/ranked_forest.h"
 #include "parallel/thread_pool.h"
 #include "pmc/potential_maximal_cliques.h"
 #include "separators/minimal_separators.h"
+#include "util/json_util.h"
 #include "util/timer.h"
 #include "workloads/families.h"
+#include "workloads/inference_models.h"
+#include "workloads/tpch_queries.h"
 
 #ifndef MINTRI_GIT_SHA
 #define MINTRI_GIT_SHA "unknown"
@@ -118,6 +122,7 @@ BenchEntry RunEnum(const SuiteContext& ctx,
                    const workloads::DatasetFamily& family,
                    const workloads::DatasetGraph& dg) {
   BenchEntry e = MakeEntry("enum", ctx, family, dg);
+  e.cost = "width";
   const double budget = EnumBudget() * ctx.budget_factor;
   ContextOptions options = MakeContextOptions(ctx, budget);
   WidthCost cost;
@@ -154,6 +159,7 @@ BenchEntry RunRanked(const SuiteContext& ctx,
                      const workloads::DatasetFamily& family,
                      const workloads::DatasetGraph& dg) {
   BenchEntry e = MakeEntry("ranked", ctx, family, dg);
+  e.cost = "width";
   const double budget = EnumBudget() * ctx.budget_factor;
   ContextOptions options = MakeContextOptions(ctx, budget);
   WidthCost cost;
@@ -186,33 +192,92 @@ BenchEntry RunRanked(const SuiteContext& ctx,
   return e;
 }
 
-void AppendJsonString(const std::string& s, std::ostream& out) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      case '\t':
-        out << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out << buf;
-        } else {
-          out << c;
-        }
+// One appcost instance: an application cost over a loaded problem instance
+// (the paper's headline workloads — TPC-H conjunctive queries under the
+// edge-cover costs, graphical models under the junction-tree state space).
+struct AppCostCase {
+  std::string family;
+  std::string graph;
+  std::string cost;
+  CostModelInstance instance;
+};
+
+std::vector<AppCostCase> AppCostCases() {
+  std::vector<AppCostCase> cases;
+  // Grouped by family (the smoke cap counts per contiguous family run).
+  for (const char* cost : {"hypertree", "fhw"}) {
+    for (const workloads::TpchQuery& q : workloads::AllTpchQueries()) {
+      if (q.graph.NumEdges() == 0) continue;  // joinless: nothing to cover
+      CostModelInstance instance;
+      instance.name = "q" + std::to_string(q.number);
+      Hypergraph h = workloads::TpchQueryHypergraph(q);
+      instance.graph = h.PrimalGraph();
+      instance.hypergraph = std::move(h);
+      cases.push_back({std::string("TPC-H-") + cost, instance.name, cost,
+                       std::move(instance)});
     }
   }
-  out << '"';
+  for (workloads::NamedModel& nm : workloads::InferenceModels()) {
+    CostModelInstance instance;
+    instance.name = nm.name;
+    instance.graph = nm.model.MarkovGraph();
+    instance.model = std::move(nm.model);
+    cases.push_back(
+        {"GraphicalModels", instance.name, "state-space", std::move(instance)});
+  }
+  return cases;
+}
+
+// The appcost suite: ranked enumeration under the application costs, with
+// the memoized bag-score cache in front of the edge-cover scores — the
+// reported hit rate is the fraction of candidate evaluations the ranked
+// stack avoided re-solving.
+BenchEntry RunAppCost(const SuiteContext& ctx, const AppCostCase& acase) {
+  BenchEntry e;
+  e.suite = "appcost";
+  e.family = acase.family;
+  e.graph = acase.graph;
+  e.n = acase.instance.graph.NumVertices();
+  e.m = acase.instance.graph.NumEdges();
+  e.threads = ctx.threads;
+  e.cost = acase.cost;
+  std::string error;
+  std::optional<CostModel> model =
+      MakeCostModel(acase.cost, acase.instance, /*enable_cache=*/true,
+                    &error);
+  if (!model.has_value()) {
+    // A case list entry whose instance lacks the payload its cost needs
+    // (registry bug or a future mis-wired case) — report, don't crash.
+    FinishEntry(&e, 0, 0.0, "cost-error");
+    return e;
+  }
+  const double budget = EnumBudget() * ctx.budget_factor;
+  ContextOptions options = MakeContextOptions(ctx, budget);
+  WallTimer timer;
+  RankedForestEnumerator enumerator(acase.instance.graph, *model->cost,
+                                    model->composition, options);
+  e.init_seconds = enumerator.init_seconds();
+  if (!enumerator.init_ok()) {
+    FinishEntry(&e, 0, timer.Seconds(),
+                enumerator.init_info().TerminationName());
+    return e;
+  }
+  long long count = 0;
+  bool finished = false;
+  while (timer.Seconds() < budget &&
+         count < static_cast<long long>(kMaxResults)) {
+    if (!enumerator.Next().has_value()) {
+      finished = true;
+      break;
+    }
+    ++count;
+  }
+  FinishEntry(&e, count, timer.Seconds(),
+              finished ? "complete" : "truncated");
+  if (model->cache != nullptr) {
+    e.cache_hit_rate = model->cache->stats().HitRate();
+  }
+  return e;
 }
 
 std::string FormatDouble(double v) {
@@ -242,7 +307,7 @@ double EnumBudget() { return 1.5 * TimeScale(); }
 
 const std::vector<std::string>& AllSuiteNames() {
   static const std::vector<std::string> kNames = {"minseps", "pmc", "enum",
-                                                  "ranked"};
+                                                  "ranked", "appcost"};
   return kNames;
 }
 
@@ -270,6 +335,35 @@ BenchReport RunBenchSuites(const BenchRunOptions& options,
   ctx.budget_factor = options.smoke ? kSmokeBudgetFactor : 1.0;
 
   for (const std::string& suite : report.suites) {
+    // The appcost suite runs its own instance list (application costs over
+    // TPC-H hypergraphs and graphical models), not the plain-graph
+    // families.
+    if (suite == "appcost") {
+      SuiteContext app_ctx = ctx;
+      app_ctx.threads = options.threads > 0 ? options.threads : 1;
+      int used_in_family = 0;
+      std::string current_family;
+      for (const AppCostCase& acase : AppCostCases()) {
+        if (acase.family != current_family) {
+          current_family = acase.family;
+          used_in_family = 0;
+        }
+        if (app_ctx.smoke && used_in_family >= kSmokeGraphsPerFamily) {
+          continue;
+        }
+        ++used_in_family;
+        BenchEntry entry = RunAppCost(app_ctx, acase);
+        if (progress != nullptr) {
+          *progress << "appcost[" << entry.cost << "] " << entry.family
+                    << "/" << entry.graph << ": " << entry.count
+                    << " results in " << FormatDouble(entry.wall_ms)
+                    << " ms (" << entry.status << ", cache "
+                    << FormatDouble(entry.cache_hit_rate) << ")\n";
+        }
+        report.entries.push_back(std::move(entry));
+      }
+      continue;
+    }
     // The parallel-capable suites sweep serial vs. all-hardware so every
     // report carries its own baseline; --threads=N pins a single point. The
     // ranked suite sweeps too — its thread count drives the context
@@ -344,6 +438,9 @@ void WriteBenchJson(const BenchReport& report, std::ostream& out) {
         << ", \"wall_ms\": " << FormatDouble(e.wall_ms)
         << ", \"results_per_sec\": " << FormatDouble(e.results_per_sec)
         << ", \"init_seconds\": " << FormatDouble(e.init_seconds)
+        << ", \"cost\": ";
+    AppendJsonString(e.cost, out);
+    out << ", \"cache_hit_rate\": " << FormatDouble(e.cache_hit_rate)
         << ", \"status\": ";
     AppendJsonString(e.status, out);
     out << "}" << (i + 1 < report.entries.size() ? "," : "") << "\n";

@@ -27,7 +27,7 @@ inline constexpr size_t kMaxResults = 100000;
 
 /// One benchmarked (suite, graph) pair of BENCH_core.json.
 struct BenchEntry {
-  std::string suite;   // "minseps" | "pmc" | "enum" | "ranked"
+  std::string suite;   // "minseps" | "pmc" | "enum" | "ranked" | "appcost"
   std::string family;  // workload family name (Fig. 5 naming)
   std::string graph;   // graph name within the family
   int n = 0;           // vertices
@@ -39,8 +39,15 @@ struct BenchEntry {
   /// per second *after the first result*, the paper's Table 2 measure.
   double results_per_sec = 0.0;
   /// Context initialization (seconds) for the context-building suites
-  /// (enum/ranked); 0 elsewhere.
+  /// (enum/ranked/appcost); 0 elsewhere.
   double init_seconds = 0.0;
+  /// The ranking cost ("width" for enum/ranked; "hypertree" | "fhw" |
+  /// "state-space" for appcost entries; empty for the enumeration-only
+  /// suites, which rank nothing).
+  std::string cost;
+  /// Memoized bag-score cache hit rate in [0, 1] (appcost entries under
+  /// the edge-cover costs; 0 where no cache runs).
+  double cache_hit_rate = 0.0;
   /// "complete" | "truncated" | "ms-terminated" | "pmc-terminated"
   /// (the last two are the Fig. 5 taxonomy of which init stage gave up).
   std::string status;

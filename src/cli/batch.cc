@@ -1,0 +1,275 @@
+#include "cli/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "cost/cost_model_registry.h"
+#include "enumeration/ranked_forest.h"
+#include "parallel/thread_pool.h"
+#include "util/json_util.h"
+
+namespace mintri {
+
+namespace {
+
+// Infinite costs (uncoverable bags under hypertree/fhw) have no JSON float
+// representation; they serialize as null.
+void AppendJsonCost(CostValue v, std::ostream& out) {
+  if (std::isinf(v) || std::isnan(v)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  out << os.str();
+}
+
+BatchRecord RunOneInstance(const std::string& spec,
+                           const BatchOptions& options) {
+  BatchRecord record;
+  record.instance = spec;
+  record.cost_name = options.cost;
+
+  std::string error;
+  std::optional<CostModelInstance> instance = LoadInstance(spec, &error);
+  if (!instance.has_value()) {
+    record.status = "load-error";
+    record.error = error;
+    return record;
+  }
+  record.n = instance->graph.NumVertices();
+  record.m = instance->graph.NumEdges();
+
+  std::optional<CostModel> model =
+      MakeCostModel(options.cost, *instance, options.cache, &error);
+  if (!model.has_value()) {
+    record.status = "cost-error";
+    record.error = error;
+    return record;
+  }
+  if (options.cost == "width-then-fill" &&
+      instance->graph.ConnectedComponents().size() > 1) {
+    record.status = "cost-error";
+    record.error = "width-then-fill requires a connected graph";
+    return record;
+  }
+
+  ContextOptions ctx_options;
+  ctx_options.separator_limits.time_limit_seconds = options.time_limit;
+  ctx_options.pmc_limits.time_limit_seconds = options.time_limit;
+  ctx_options.num_threads = options.inner_threads;
+  RankedForestEnumerator enumerator(instance->graph, *model->cost,
+                                    model->composition, ctx_options);
+  record.init_seconds = enumerator.init_seconds();
+  if (!enumerator.init_ok()) {
+    record.status = "init-failed";
+    record.error = enumerator.init_info().TerminationName();
+    return record;
+  }
+  for (long long rank = 1; rank <= options.top; ++rank) {
+    std::optional<Triangulation> t = enumerator.Next();
+    if (!t.has_value()) break;
+    BatchRecord::Row row;
+    row.rank = static_cast<int>(rank);
+    row.cost = t->cost;
+    row.width = t->Width();
+    row.fill = t->FillIn(instance->graph);
+    row.bags = static_cast<int>(t->bags.size());
+    record.results.push_back(row);
+  }
+  if (model->cache != nullptr) {
+    const BagScoreCache::Stats stats = model->cache->stats();
+    record.cache_lookups = stats.lookups;
+    record.cache_hits = stats.hits;
+  }
+  record.status = "ok";
+  return record;
+}
+
+constexpr char kBatchUsage[] =
+    "usage: mintri batch <file-of-instances> [options]\n"
+    "\n"
+    "Rank-enumerates every instance listed in the file (one spec per line;\n"
+    "'#' comments). A spec is a path (.gr graph, .hg hypergraph, .uai\n"
+    "factor list) or a builtin: tpch:<q> (TPC-H query hypergraph),\n"
+    "tpch-graph:<q> (join graph), gm:<name> (graphical model). Instances\n"
+    "fan out across a thread pool — parallel across queries — and one JSON\n"
+    "record per instance is emitted in input order, identical at every\n"
+    "--threads value.\n"
+    "\n"
+    "  --cost=NAME        width|fill|width-then-fill|state-space|\n"
+    "                     hypertree|fhw              (default width)\n"
+    "  --top=K            ranked results per instance (default 3)\n"
+    "  --threads=N        instances processed concurrently (default 1)\n"
+    "  --inner-threads=N  context-build threads per instance (default 1)\n"
+    "  --time-limit=SEC   per-stage initialization budget (default 30)\n"
+    "  --no-cache         disable the memoized bag-score cache\n"
+    "  --out=FILE         output path (default '-' for stdout)\n"
+    "  --help             show this message and exit\n";
+
+}  // namespace
+
+std::vector<BatchRecord> RunBatch(const std::vector<std::string>& specs,
+                                  const BatchOptions& options) {
+  std::vector<BatchRecord> records(specs.size());
+  std::atomic<size_t> cursor{0};
+  const int threads = std::max(
+      1, std::min(options.threads, static_cast<int>(specs.size())));
+  parallel::RunOnThreads(threads, [&](int) {
+    while (true) {
+      const size_t i = cursor.fetch_add(1);
+      if (i >= specs.size()) break;
+      records[i] = RunOneInstance(specs[i], options);
+    }
+  });
+  return records;
+}
+
+void WriteBatchJson(const std::vector<BatchRecord>& records,
+                    std::ostream& out) {
+  for (const BatchRecord& r : records) {
+    out << "{\"instance\": ";
+    AppendJsonString(r.instance, out);
+    out << ", \"cost\": ";
+    AppendJsonString(r.cost_name, out);
+    out << ", \"status\": ";
+    AppendJsonString(r.status, out);
+    out << ", \"n\": " << r.n << ", \"m\": " << r.m << ", \"init_seconds\": ";
+    AppendJsonCost(r.init_seconds, out);
+    out << ", \"cache_lookups\": " << r.cache_lookups
+        << ", \"cache_hits\": " << r.cache_hits;
+    if (!r.error.empty()) {
+      out << ", \"error\": ";
+      AppendJsonString(r.error, out);
+    }
+    out << ", \"results\": [";
+    for (size_t i = 0; i < r.results.size(); ++i) {
+      const BatchRecord::Row& row = r.results[i];
+      if (i > 0) out << ", ";
+      out << "{\"rank\": " << row.rank << ", \"cost\": ";
+      AppendJsonCost(row.cost, out);
+      out << ", \"width\": " << row.width << ", \"fill\": " << row.fill
+          << ", \"bags\": " << row.bags << "}";
+    }
+    out << "]}\n";
+  }
+}
+
+int RunBatchCommand(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  BatchOptions options;
+  std::string list_path;
+  std::string out_path = "-";
+  auto parse_int = [](const std::string& value, long long* result) {
+    std::istringstream is(value);
+    return static_cast<bool>(is >> *result) && is.eof();
+  };
+  for (const std::string& arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      out << kBatchUsage;
+      return 0;
+    } else if (arg.rfind("--cost=", 0) == 0) {
+      options.cost = arg.substr(7);
+    } else if (arg.rfind("--top=", 0) == 0) {
+      if (!parse_int(arg.substr(6), &options.top) || options.top < 1) {
+        err << "invalid value for --top: " << arg.substr(6)
+            << " (expected an integer >= 1)\n";
+        return 1;
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      long long v = 0;
+      if (!parse_int(arg.substr(10), &v) || v < 1 ||
+          v > parallel::kMaxRunThreads) {
+        err << "invalid value for --threads: " << arg.substr(10)
+            << " (expected an integer in 1.." << parallel::kMaxRunThreads
+            << ")\n";
+        return 1;
+      }
+      options.threads = static_cast<int>(v);
+    } else if (arg.rfind("--inner-threads=", 0) == 0) {
+      long long v = 0;
+      if (!parse_int(arg.substr(16), &v) || v < 1 ||
+          v > parallel::kMaxRunThreads) {
+        err << "invalid value for --inner-threads: " << arg.substr(16)
+            << " (expected an integer in 1.." << parallel::kMaxRunThreads
+            << ")\n";
+        return 1;
+      }
+      options.inner_threads = static_cast<int>(v);
+    } else if (arg.rfind("--time-limit=", 0) == 0) {
+      std::istringstream is(arg.substr(13));
+      if (!(is >> options.time_limit) || !is.eof() ||
+          !(options.time_limit > 0)) {
+        err << "invalid value for --time-limit: " << arg.substr(13)
+            << " (expected a positive number of seconds)\n";
+        return 1;
+      }
+    } else if (arg == "--no-cache") {
+      options.cache = false;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "unknown option: " << arg << "\n";
+      return 1;
+    } else if (list_path.empty()) {
+      list_path = arg;
+    } else {
+      err << "unexpected argument: " << arg << "\n";
+      return 1;
+    }
+  }
+  if (list_path.empty()) {
+    err << kBatchUsage;
+    return 1;
+  }
+
+  std::ifstream list(list_path);
+  if (!list) {
+    err << "cannot open " << list_path << "\n";
+    return 1;
+  }
+  std::vector<std::string> specs;
+  std::string line;
+  while (std::getline(list, line)) {
+    const size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    const size_t end = line.find_last_not_of(" \t\r");
+    specs.push_back(line.substr(begin, end - begin + 1));
+  }
+  if (specs.empty()) {
+    err << list_path << ": no instances listed\n";
+    return 1;
+  }
+
+  std::vector<BatchRecord> records = RunBatch(specs, options);
+  if (out_path == "-") {
+    WriteBatchJson(records, out);
+  } else {
+    std::ofstream file(out_path);
+    if (!file) {
+      err << "cannot write " << out_path << "\n";
+      return 1;
+    }
+    WriteBatchJson(records, file);
+  }
+  int failures = 0;
+  for (const BatchRecord& r : records) {
+    if (r.status != "ok") {
+      err << r.instance << ": " << r.status
+          << (r.error.empty() ? "" : " (" + r.error + ")") << "\n";
+      ++failures;
+    }
+  }
+  err << records.size() - failures << "/" << records.size()
+      << " instances ranked (cost " << options.cost << ", " << options.threads
+      << " threads)\n";
+  return failures == 0 ? 0 : 2;
+}
+
+}  // namespace mintri

@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "bench/bench_suites.h"
+#include "cli/batch.h"
+#include "cost/cost_model_registry.h"
 #include "cost/standard_costs.h"
 #include "enumeration/ckk.h"
 #include "enumeration/ranked_forest.h"
@@ -22,29 +24,45 @@ struct Options {
   std::string algo = "ranked";
   int bound = -1;
   std::string format = "summary";
+  std::string input = "gr";  // stdin format: gr | hg | uai
   double time_limit = 30.0;
   int threads = 1;
+  bool no_cache = false;
   bool stats = false;
   bool help = false;
   std::string file;  // empty: stdin
 };
 
 constexpr char kUsage[] =
-    "usage: mintri [options] [graph.gr]\n"
-    "       mintri bench [suite...] [options]   (see mintri bench --help)\n"
+    "usage: mintri [rank] [options] [instance]\n"
+    "       mintri batch <file-of-instances> [options]  (mintri batch"
+    " --help)\n"
+    "       mintri bench [suite...] [options]           (mintri bench"
+    " --help)\n"
     "\n"
-    "Reads a graph in DIMACS/PACE .gr format (from the file argument or\n"
-    "stdin) and prints its minimal triangulations in ranked order.\n"
+    "Reads a problem instance and prints its minimal triangulations in\n"
+    "ranked order. The instance is a path — .gr (DIMACS/PACE graph), .hg\n"
+    "(hypergraph; its primal graph is triangulated), .uai (factor list;\n"
+    "its moral graph is triangulated) — or a builtin spec: tpch:<q> (the\n"
+    "TPC-H query-q hypergraph), tpch-graph:<q>, gm:<name>. With no\n"
+    "instance argument, stdin is parsed per --input.\n"
     "\n"
-    "  --cost=width|fill|width-then-fill|state-space   (default width)\n"
+    "  --cost=NAME        width|fill|width-then-fill|state-space|\n"
+    "                     hypertree|fhw                 (default width)\n"
+    "                     hypertree/fhw need a hypergraph instance;\n"
+    "                     state-space uses the model's domain sizes when\n"
+    "                     the instance carries them (uniform 2 otherwise)\n"
     "  --top=K            stop after K results          (default 5)\n"
     "  --algo=ranked|ckk  ranked enumeration or the CKK baseline\n"
     "  --bound=B          width bound (MinTriangB contexts)\n"
     "  --format=summary|td   per-result line, or PACE .td blocks\n"
+    "  --input=gr|hg|uai  stdin format                  (default gr)\n"
     "  --time-limit=SEC   initialization budget in seconds (default 30)\n"
     "  --threads=N        worker threads for the separator/PMC enumeration\n"
     "                     during initialization (default 1 = serial)\n"
-    "  --stats            print initialization statistics to stderr\n"
+    "  --no-cache         disable the memoized bag-score cache\n"
+    "  --stats            print initialization + cache statistics to\n"
+    "                     stderr\n"
     "  --help             show this message and exit\n";
 
 bool ParseNumber(const std::string& value, long long* out) {
@@ -104,6 +122,13 @@ bool ParseArgs(const std::vector<std::string>& args, Options* options,
       }
     } else if (auto format = value_of("--format=")) {
       options->format = *format;
+    } else if (auto input = value_of("--input=")) {
+      if (*input != "gr" && *input != "hg" && *input != "uai") {
+        err << "invalid value for --input: " << *input
+            << " (expected gr, hg, or uai)\n";
+        return false;
+      }
+      options->input = *input;
     } else if (auto time_limit = value_of("--time-limit=")) {
       if (!ParseNumber(*time_limit, &options->time_limit)) {
         err << "invalid value for --time-limit: " << *time_limit << "\n";
@@ -115,6 +140,8 @@ bool ParseArgs(const std::vector<std::string>& args, Options* options,
             << " (expected an integer in 1.." << kMaxThreads << ")\n";
         return false;
       }
+    } else if (arg == "--no-cache") {
+      options->no_cache = true;
     } else if (arg == "--stats") {
       options->stats = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -138,7 +165,10 @@ constexpr char kBenchUsage[] =
     "enumeration), enum (ranked enumeration of minimal triangulations),\n"
     "ranked (ranked enumeration with per-entry init_seconds and\n"
     "after-first-result throughput, context init at the entry's thread\n"
-    "count). With no suite arguments (or the keyword 'all'), all suites run.\n"
+    "count), appcost (ranked enumeration under the application costs —\n"
+    "hypertree/fhw over the TPC-H query hypergraphs, state-space over the\n"
+    "graphical-model instances — with bag-score cache hit rates). With no\n"
+    "suite arguments (or the keyword 'all'), all suites run.\n"
     "\n"
     "  --out=FILE   output path (default BENCH_core.json; '-' for stdout)\n"
     "  --smoke      CI-sized run: few families, capped graphs, short budgets\n"
@@ -182,7 +212,7 @@ int RunBenchCommand(const std::vector<std::string>& args, std::ostream& out,
       options.suites.push_back(arg);
     } else {
       err << "unknown suite: " << arg
-          << " (expected minseps, pmc, enum, ranked, or all)\n";
+          << " (expected minseps, pmc, enum, ranked, appcost, or all)\n";
       return 1;
     }
   }
@@ -205,16 +235,6 @@ int RunBenchCommand(const std::vector<std::string>& args, std::ostream& out,
   return 0;
 }
 
-std::unique_ptr<BagCost> MakeCost(const std::string& name, int n) {
-  if (name == "width") return std::make_unique<WidthCost>();
-  if (name == "fill") return std::make_unique<FillInCost>();
-  if (name == "width-then-fill") {
-    return std::make_unique<WidthThenFillCost>();
-  }
-  if (name == "state-space") return TotalStateSpaceCost::Uniform(n, 2.0);
-  return nullptr;
-}
-
 void PrintResult(const Options& options, const Graph& g, int rank,
                  const Triangulation& t, std::ostream& out) {
   if (options.format == "td") {
@@ -235,46 +255,66 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     return RunBenchCommand(
         std::vector<std::string>(args.begin() + 1, args.end()), out, err);
   }
+  if (!args.empty() && args[0] == "batch") {
+    return RunBatchCommand(
+        std::vector<std::string>(args.begin() + 1, args.end()), out, err);
+  }
+  // `mintri rank ...` is the canonical spelling; the bare invocation stays
+  // supported as the historical alias.
+  std::vector<std::string> rank_args =
+      (!args.empty() && args[0] == "rank")
+          ? std::vector<std::string>(args.begin() + 1, args.end())
+          : args;
   Options options;
-  if (!ParseArgs(args, &options, err)) return 1;
+  if (!ParseArgs(rank_args, &options, err)) return 1;
   if (options.help) {
     out << kUsage;
     return 0;
   }
 
-  std::optional<Graph> g;
+  std::string error;
+  std::optional<CostModelInstance> instance;
   if (options.file.empty()) {
-    g = ParseDimacs(in);
+    InstanceKind kind = InstanceKind::kGraph;
+    if (options.input == "hg") kind = InstanceKind::kHypergraph;
+    if (options.input == "uai") kind = InstanceKind::kModel;
+    instance = ReadInstance(in, kind, "<stdin>", &error);
   } else {
-    std::ifstream file(options.file);
-    if (!file) {
-      err << "cannot open " << options.file << "\n";
-      return 1;
-    }
-    g = ParseDimacs(file);
+    instance = LoadInstance(options.file, &error);
   }
-  if (!g.has_value()) {
-    err << "malformed graph input (expected DIMACS/PACE .gr)\n";
+  if (!instance.has_value()) {
+    err << error << "\n";
     return 1;
   }
+  const Graph& g = instance->graph;
 
-  std::unique_ptr<BagCost> cost = MakeCost(options.cost, g->NumVertices());
-  if (cost == nullptr) {
-    err << "unknown cost: " << options.cost << "\n";
+  std::optional<CostModel> model =
+      MakeCostModel(options.cost, *instance, !options.no_cache, &error);
+  if (!model.has_value()) {
+    err << error << "\n";
     return 1;
   }
+  const BagCost& cost = *model->cost;
+
+  auto print_cache_stats = [&]() {
+    if (!options.stats || model->cache == nullptr) return;
+    const BagScoreCache::Stats stats = model->cache->stats();
+    err << "bag-score cache: lookups=" << stats.lookups
+        << " hits=" << stats.hits << " hit_rate=" << stats.HitRate() << "\n";
+  };
 
   if (options.algo == "ckk") {
-    if (!g->IsConnected()) {
+    if (!g.IsConnected()) {
       err << "the CKK baseline requires a connected graph\n";
       return 1;
     }
-    CkkEnumerator e(*g, cost.get());
+    CkkEnumerator e(g, &cost);
     for (long long rank = 1; rank <= options.top; ++rank) {
       auto t = e.Next();
       if (!t.has_value()) break;
-      PrintResult(options, *g, static_cast<int>(rank), *t, out);
+      PrintResult(options, g, static_cast<int>(rank), *t, out);
     }
+    print_cache_stats();
     return 0;
   }
   if (options.algo != "ranked") {
@@ -287,20 +327,16 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
   ctx_options.separator_limits.time_limit_seconds = options.time_limit;
   ctx_options.pmc_limits.time_limit_seconds = options.time_limit;
   ctx_options.num_threads = options.threads;
-  CostComposition composition = (options.cost == "width" ||
-                                 options.cost == "width-then-fill")
-                                    ? CostComposition::kMax
-                                    : CostComposition::kSum;
-  // width-then-fill composes as max on the width digit and sum on fill;
-  // kMax is a safe upper approximation across components for ranking, but
-  // to stay exact we fall back to per-component handling only when the
-  // graph is connected.
-  if (options.cost == "width-then-fill" && g->ConnectedComponents().size() > 1) {
+  // width-then-fill encodes (width, fill) in one number, so no single
+  // CostComposition is exact across components; stay exact by requiring a
+  // connected graph (single-component ranked product).
+  if (options.cost == "width-then-fill" &&
+      g.ConnectedComponents().size() > 1) {
     err << "width-then-fill requires a connected graph\n";
     return 1;
   }
 
-  RankedForestEnumerator e(*g, *cost, composition, ctx_options);
+  RankedForestEnumerator e(g, cost, model->composition, ctx_options);
   const ContextBuildInfo& info = e.init_info();
   if (!e.init_ok()) {
     err << "initialization " << info.TerminationName() << " after "
@@ -311,7 +347,7 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     return 2;
   }
   if (options.stats) {
-    err << "graph: n=" << g->NumVertices() << " m=" << g->NumEdges() << "\n";
+    err << "graph: n=" << g.NumVertices() << " m=" << g.NumEdges() << "\n";
     err << "init: total=" << info.total_seconds << "s minseps="
         << info.minsep_seconds << "s (" << info.num_minseps << ") pmcs="
         << info.pmc_seconds << "s (" << info.num_pmcs << ") blocks="
@@ -321,8 +357,9 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
   for (long long rank = 1; rank <= options.top; ++rank) {
     auto t = e.Next();
     if (!t.has_value()) break;
-    PrintResult(options, *g, static_cast<int>(rank), *t, out);
+    PrintResult(options, g, static_cast<int>(rank), *t, out);
   }
+  print_cache_stats();
   return 0;
 }
 

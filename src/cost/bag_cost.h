@@ -2,6 +2,7 @@
 #define MINTRI_COST_BAG_COST_H_
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,22 @@ class BagCost {
   /// Cost of a whole tree decomposition of g given as its bag set.
   virtual CostValue Evaluate(const Graph& g,
                              const std::vector<VertexSet>& bags) const = 0;
+
+  /// Vertex-identity adapter for relabeled subgraphs. The ranked-forest
+  /// layer triangulates each connected component as an induced subgraph
+  /// with vertices renumbered 0..k-1, so costs whose bag scores depend on
+  /// vertex *identity* (hypergraph edge covers, per-vertex domain sizes,
+  /// weighted fill) would otherwise score the wrong vertices. Returns a
+  /// cost equivalent to *this for the subgraph whose vertex i is original
+  /// vertex old_of_new[i] (bags are translated back to original labels of
+  /// capacity old_capacity before scoring), or nullptr when *this is
+  /// invariant under relabeling (pure structure costs: width, fill).
+  virtual std::unique_ptr<BagCost> RestrictTo(
+      const std::vector<int>& old_of_new, int old_capacity) const {
+    (void)old_of_new;
+    (void)old_capacity;
+    return nullptr;
+  }
 };
 
 /// Number of unordered pairs {x, y} ⊆ omega that are non-adjacent in g and

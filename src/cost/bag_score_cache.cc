@@ -1,0 +1,27 @@
+#include "cost/bag_score_cache.h"
+
+namespace mintri {
+
+CostValue BagScoreCache::operator()(const VertexSet& bag) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++lookups_;
+    const int idx = table_.Find(bag);
+    if (idx >= 0) {
+      ++hits_;
+      return values_[idx];
+    }
+  }
+  const CostValue value = score_(bag);
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t idx = 0;
+  if (table_.Insert(bag, &idx)) values_.push_back(value);
+  return values_[idx];
+}
+
+BagScoreCache::Stats BagScoreCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{lookups_, hits_};
+}
+
+}  // namespace mintri

@@ -95,6 +95,17 @@ CostValue WeightedWidthCost::Combine(const CombineContext& ctx) const {
   return std::max<CostValue>(MaxChild(ctx.child_costs), score_(ctx.omega));
 }
 
+std::unique_ptr<BagCost> WeightedWidthCost::RestrictTo(
+    const std::vector<int>& old_of_new, int old_capacity) const {
+  return std::make_unique<WeightedWidthCost>(
+      [score = score_, old_of_new, old_capacity](const VertexSet& bag) {
+        VertexSet original(old_capacity);
+        bag.ForEach([&](int v) { original.Insert(old_of_new[v]); });
+        return score(original);
+      },
+      name_);
+}
+
 CostValue WeightedWidthCost::Evaluate(const Graph& g,
                                       const std::vector<VertexSet>& bags)
     const {
@@ -139,6 +150,16 @@ CostValue WeightedFillCost::Evaluate(const Graph& g,
   return s;
 }
 
+std::unique_ptr<BagCost> WeightedFillCost::RestrictTo(
+    const std::vector<int>& old_of_new, int old_capacity) const {
+  (void)old_capacity;
+  return std::make_unique<WeightedFillCost>(
+      [weight = weight_, old_of_new](int u, int v) {
+        return weight(old_of_new[u], old_of_new[v]);
+      },
+      name_);
+}
+
 std::unique_ptr<TotalStateSpaceCost> TotalStateSpaceCost::Uniform(int n,
                                                                   double d) {
   return std::make_unique<TotalStateSpaceCost>(std::vector<double>(n, d));
@@ -163,6 +184,16 @@ CostValue TotalStateSpaceCost::Evaluate(const Graph& g,
   CostValue s = 0;
   for (const VertexSet& b : bags) s += BagWeight(b);
   return s;
+}
+
+std::unique_ptr<BagCost> TotalStateSpaceCost::RestrictTo(
+    const std::vector<int>& old_of_new, int old_capacity) const {
+  (void)old_capacity;
+  std::vector<double> restricted(old_of_new.size());
+  for (size_t i = 0; i < old_of_new.size(); ++i) {
+    restricted[i] = domains_[old_of_new[i]];
+  }
+  return std::make_unique<TotalStateSpaceCost>(std::move(restricted));
 }
 
 }  // namespace mintri

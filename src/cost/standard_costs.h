@@ -60,6 +60,8 @@ class WeightedWidthCost : public BagCost {
   CostValue Combine(const CombineContext& ctx) const override;
   CostValue Evaluate(const Graph& g,
                      const std::vector<VertexSet>& bags) const override;
+  std::unique_ptr<BagCost> RestrictTo(const std::vector<int>& old_of_new,
+                                      int old_capacity) const override;
 
  private:
   BagScore score_;
@@ -79,6 +81,8 @@ class WeightedFillCost : public BagCost {
   CostValue Combine(const CombineContext& ctx) const override;
   CostValue Evaluate(const Graph& g,
                      const std::vector<VertexSet>& bags) const override;
+  std::unique_ptr<BagCost> RestrictTo(const std::vector<int>& old_of_new,
+                                      int old_capacity) const override;
 
  private:
   double SumNewPairs(const Graph& g, const VertexSet& omega,
@@ -103,6 +107,8 @@ class TotalStateSpaceCost : public BagCost {
   CostValue Combine(const CombineContext& ctx) const override;
   CostValue Evaluate(const Graph& g,
                      const std::vector<VertexSet>& bags) const override;
+  std::unique_ptr<BagCost> RestrictTo(const std::vector<int>& old_of_new,
+                                      int old_capacity) const override;
 
  private:
   double BagWeight(const VertexSet& bag) const;

@@ -24,8 +24,17 @@ RankedForestEnumerator::RankedForestEnumerator(const Graph& g,
     }
     comp.context =
         std::make_unique<TriangulationContext>(std::move(*ctx));
+    // The component subgraph renumbers vertices, so vertex-dependent costs
+    // (hypergraph edge covers, per-vertex domains, weighted fill) must be
+    // re-anchored to the original labels. The identity relabeling (a
+    // connected graph's single component) keeps the shared cost as-is.
+    bool identity = sub.NumVertices() == g.NumVertices();
+    if (!identity) {
+      comp.restricted_cost = cost.RestrictTo(comp.old_of_new, g.NumVertices());
+    }
     comp.enumerator = std::make_unique<RankedTriangulationEnumerator>(
-        *comp.context, cost);
+        *comp.context,
+        comp.restricted_cost != nullptr ? *comp.restricted_cost : cost);
     components_.push_back(std::move(comp));
   }
   if (components_.empty()) return;  // empty graph: nothing to enumerate

@@ -52,6 +52,9 @@ class RankedForestEnumerator {
  private:
   struct Component {
     std::vector<int> old_of_new;            // relabeling back to g
+    /// Identity-corrected cost (BagCost::RestrictTo) for vertex-dependent
+    /// costs; null when the shared cost is relabeling-invariant.
+    std::unique_ptr<BagCost> restricted_cost;
     std::unique_ptr<TriangulationContext> context;
     std::unique_ptr<RankedTriangulationEnumerator> enumerator;
     std::vector<Triangulation> produced;    // memoized ranked prefix

@@ -105,18 +105,29 @@ double MinFractionalEdgeCover(const Hypergraph& h, const VertexSet& bag) {
   return sol.has_value() ? sol->objective : -1.0;
 }
 
+CostValue HypertreeBagScore(const Hypergraph& h, const VertexSet& bag) {
+  const int cover = MinIntegralEdgeCover(h, bag);
+  return cover < 0 ? kInfiniteCost : static_cast<CostValue>(cover);
+}
+
+CostValue FractionalEdgeCoverBagScore(const Hypergraph& h,
+                                      const VertexSet& bag) {
+  const double cover = MinFractionalEdgeCover(h, bag);
+  return cover < 0 ? kInfiniteCost : cover;
+}
+
 std::unique_ptr<WeightedWidthCost> HypertreeWidthCost(const Hypergraph& h) {
   return std::make_unique<WeightedWidthCost>(
-      [&h](const VertexSet& bag) {
-        return static_cast<double>(MinIntegralEdgeCover(h, bag));
-      },
+      [&h](const VertexSet& bag) { return HypertreeBagScore(h, bag); },
       "hypertree-width");
 }
 
 std::unique_ptr<WeightedWidthCost> FractionalHypertreeWidthCost(
     const Hypergraph& h) {
   return std::make_unique<WeightedWidthCost>(
-      [&h](const VertexSet& bag) { return MinFractionalEdgeCover(h, bag); },
+      [&h](const VertexSet& bag) {
+        return FractionalEdgeCoverBagScore(h, bag);
+      },
       "fractional-hypertree-width");
 }
 

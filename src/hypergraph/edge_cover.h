@@ -21,12 +21,21 @@ int MinIntegralEdgeCover(const Hypergraph& h, const VertexSet& bag);
 /// hypertree width.
 double MinFractionalEdgeCover(const Hypergraph& h, const VertexSet& bag);
 
+/// The edge-cover optima as WeightedWidthCost bag scores, with the
+/// uncoverable `-1` sentinel mapped to kInfiniteCost. Feeding the raw
+/// sentinel into a cost would make an invalid bag look like the *cheapest*
+/// one; infinity makes the DP reject it instead. These are the functions
+/// the cost factories below (and the memoized bag-score cache) evaluate.
+CostValue HypertreeBagScore(const Hypergraph& h, const VertexSet& bag);
+CostValue FractionalEdgeCoverBagScore(const Hypergraph& h,
+                                      const VertexSet& bag);
+
 /// Split-monotone bag costs over tree decompositions of h's primal graph
 /// (Section 3 of the paper: "c(b) can be the minimal number of hyperedges
 /// needed to cover b, or the minimal weight of a fractional edge cover of
 /// b, thereby establishing ... hypertree width and fractional hypertree
-/// width"). The hypergraph must cover all its vertices and outlive the
-/// returned cost.
+/// width"). The hypergraph must outlive the returned cost; bags containing
+/// a vertex in no hyperedge score kInfiniteCost.
 std::unique_ptr<WeightedWidthCost> HypertreeWidthCost(const Hypergraph& h);
 std::unique_ptr<WeightedWidthCost> FractionalHypertreeWidthCost(
     const Hypergraph& h);

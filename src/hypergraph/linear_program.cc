@@ -1,7 +1,8 @@
 #include "hypergraph/linear_program.h"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace mintri {
 
@@ -12,18 +13,20 @@ constexpr double kEps = 1e-9;
 LinearProgram::LinearProgram(std::vector<std::vector<double>> a,
                              std::vector<double> b, std::vector<double> c)
     : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)) {
-  assert(a_.size() == b_.size());
+  // Input validation must survive Release builds (an assert would compile
+  // out and a negative b would silently yield garbage), so record validity
+  // here and let Maximize() report it.
+  valid_ = a_.size() == b_.size();
   for (const auto& row : a_) {
-    assert(row.size() == c_.size());
-    (void)row;
+    if (row.size() != c_.size()) valid_ = false;
   }
   for (double bound : b_) {
-    assert(bound >= -kEps);
-    (void)bound;
+    if (!(bound >= 0.0)) valid_ = false;  // also rejects NaN
   }
 }
 
 std::optional<LinearProgram::Solution> LinearProgram::Maximize() const {
+  if (!valid_) return std::nullopt;
   const int m = static_cast<int>(b_.size());
   const int n = static_cast<int>(c_.size());
 
@@ -53,20 +56,30 @@ std::optional<LinearProgram::Solution> LinearProgram::Maximize() const {
     }
     if (pivot_col < 0) break;  // optimal
 
-    // Leaving row: minimum ratio, ties by smallest basis index (Bland).
-    int pivot_row = -1;
-    double best_ratio = 0;
+    // Leaving row, Bland's rule in two clean passes: find the exact minimum
+    // ratio first, then among the rows (near-)tied at that minimum pick the
+    // smallest basis index. The previous single-pass version compared each
+    // row against a drifting `best_ratio` with an ε window, which could
+    // ratchet the accepted ratio upward across chained near-ties and pick a
+    // leaving row whose ratio exceeds the true minimum — a wrong pivot on
+    // degenerate LPs, and no anti-cycling guarantee.
+    double min_ratio = std::numeric_limits<double>::infinity();
     for (int i = 0; i < m; ++i) {
       if (t[i][pivot_col] > kEps) {
-        double ratio = t[i][n + m] / t[i][pivot_col];
-        if (pivot_row < 0 || ratio < best_ratio - kEps ||
-            (ratio < best_ratio + kEps && basis[i] < basis[pivot_row])) {
-          pivot_row = i;
-          best_ratio = ratio;
-        }
+        min_ratio = std::min(min_ratio, t[i][n + m] / t[i][pivot_col]);
       }
     }
-    if (pivot_row < 0) return std::nullopt;  // unbounded
+    if (min_ratio == std::numeric_limits<double>::infinity()) {
+      return std::nullopt;  // unbounded
+    }
+    int pivot_row = -1;
+    for (int i = 0; i < m; ++i) {
+      if (t[i][pivot_col] > kEps &&
+          t[i][n + m] / t[i][pivot_col] <= min_ratio + kEps &&
+          (pivot_row < 0 || basis[i] < basis[pivot_row])) {
+        pivot_row = i;
+      }
+    }
 
     // Pivot.
     double p = t[pivot_row][pivot_col];

@@ -27,14 +27,17 @@ class LinearProgram {
     std::vector<double> x;  // primal assignment
   };
 
-  /// Solves the LP. Returns std::nullopt when the objective is unbounded.
-  /// (Infeasibility cannot occur in this canonical form since b >= 0.)
+  /// Solves the LP. Returns std::nullopt when the objective is unbounded or
+  /// the input is malformed (ragged rows, a dimension mismatch, or a
+  /// negative/NaN entry of b — the canonical form requires b >= 0).
+  /// (Infeasibility cannot otherwise occur in this form since b >= 0.)
   std::optional<Solution> Maximize() const;
 
  private:
   std::vector<std::vector<double>> a_;
   std::vector<double> b_;
   std::vector<double> c_;
+  bool valid_ = true;
 };
 
 }  // namespace mintri

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace mintri {
 
@@ -21,11 +22,27 @@ Graph JunctionTreeInference::MarkovGraph() const {
   return g;
 }
 
+bool JunctionTreeInference::FactorTablesMatchScopes() const {
+  for (const Factor& f : factors_) {
+    size_t expected = 1;
+    for (int v : f.scope) {
+      const size_t d = static_cast<size_t>(domains_[v]);
+      if (d == 0 || expected > std::numeric_limits<size_t>::max() / d) {
+        return false;
+      }
+      expected *= d;
+    }
+    if (expected != f.table.size()) return false;
+  }
+  return true;
+}
+
 std::optional<JunctionTreeInference::Result> JunctionTreeInference::Run(
     const TreeDecomposition& td) const {
   const int k = static_cast<int>(td.bags.size());
   const int n = static_cast<int>(domains_.size());
   if (k == 0) return std::nullopt;
+  if (!FactorTablesMatchScopes()) return std::nullopt;
 
   // Assign each factor to some bag containing its scope.
   std::vector<Factor> potentials;
@@ -105,6 +122,7 @@ std::optional<JunctionTreeInference::Result> JunctionTreeInference::Run(
       result.partition_function *= TotalMass(collected[b]);
     }
   }
+  result.degenerate = !(result.partition_function > 0);
 
   // Downward pass: belief(b) = collected(b) × message from parent, where
   // the parent's message excludes b's own upward contribution.
@@ -144,6 +162,7 @@ std::optional<JunctionTreeInference::Result> JunctionTreeInference::Run(
     if (host < 0) return std::nullopt;
     Factor m = MarginalizeTo(beliefs[host], {v}, domains_);
     double z = TotalMass(m);
+    if (!(z > 0)) result.degenerate = true;
     result.marginals[v].resize(domains_[v]);
     for (int x = 0; x < domains_[v]; ++x) {
       result.marginals[v][x] = z > 0 ? m.table[x] / z : 0.0;
@@ -157,6 +176,15 @@ JunctionTreeInference::Result JunctionTreeInference::BruteForce() const {
   Result result;
   result.marginals.assign(n, {});
   for (int v = 0; v < n; ++v) result.marginals[v].assign(domains_[v], 0.0);
+
+  // Guard the flat-index computation: the index of a factor's table entry
+  // is bounded by the product of its scope's domains, so a table whose size
+  // disagrees would be read past the end. A mismatched model is reported as
+  // degenerate (BruteForce's signature has no failure channel).
+  if (!FactorTablesMatchScopes()) {
+    result.degenerate = true;
+    return result;
+  }
 
   std::vector<int> assignment(n, 0);
   while (true) {
@@ -176,6 +204,7 @@ JunctionTreeInference::Result JunctionTreeInference::BruteForce() const {
     while (i >= 0 && ++assignment[i] == domains_[i]) assignment[i--] = 0;
     if (i < 0) break;
   }
+  result.degenerate = !(result.partition_function > 0);
   for (int v = 0; v < n; ++v) {
     for (double& p : result.marginals[v]) {
       if (result.partition_function > 0) p /= result.partition_function;

@@ -30,11 +30,19 @@ class JunctionTreeInference {
     std::vector<std::vector<double>> marginals;
     /// Total clique-table entries touched — the decomposition's cost.
     double total_table_entries = 0;
+    /// True when the partition function is zero (every assignment has weight
+    /// zero, e.g. an all-zero factor): no distribution exists, so the
+    /// marginals are left all-zero rather than silently presented as
+    /// probabilities. Also set by BruteForce() when a factor's table size
+    /// does not match its scope (the flat index would read out of bounds).
+    bool degenerate = false;
   };
 
   /// Two-pass message passing over `td`, which must be a valid tree
   /// decomposition of MarkovGraph(). Returns std::nullopt when some factor
-  /// scope fits in no bag (i.e., td is not a decomposition of the model).
+  /// scope fits in no bag (i.e., td is not a decomposition of the model) or
+  /// a factor's table size disagrees with its scope's domains (indexing it
+  /// would read out of bounds).
   std::optional<Result> Run(const TreeDecomposition& td) const;
 
   /// Reference results by exhaustive enumeration over all assignments
@@ -42,6 +50,11 @@ class JunctionTreeInference {
   Result BruteForce() const;
 
  private:
+  /// True iff every factor's table size equals the (overflow-checked)
+  /// product of its scope's domains — the bound on every flat index the
+  /// inference paths compute.
+  bool FactorTablesMatchScopes() const;
+
   std::vector<int> domains_;
   std::vector<Factor> factors_;
 };

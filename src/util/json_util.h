@@ -1,0 +1,17 @@
+#ifndef MINTRI_UTIL_JSON_UTIL_H_
+#define MINTRI_UTIL_JSON_UTIL_H_
+
+#include <ostream>
+#include <string>
+
+namespace mintri {
+
+/// Writes s as a double-quoted JSON string with the standard escapes
+/// (quote, backslash, newline, tab, \u00xx for other control bytes).
+/// Shared by every JSON emitter in the repo (bench report, batch records)
+/// so the escaping rules cannot drift between them.
+void AppendJsonString(const std::string& s, std::ostream& out);
+
+}  // namespace mintri
+
+#endif  // MINTRI_UTIL_JSON_UTIL_H_

@@ -1,0 +1,85 @@
+#include "workloads/inference_models.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace mintri {
+namespace workloads {
+
+namespace {
+
+Factor RandomFactor(std::vector<int> scope, const std::vector<int>& domains,
+                    Rng* rng) {
+  std::sort(scope.begin(), scope.end());
+  Factor f = Factor::Ones(std::move(scope), domains);
+  for (double& v : f.table) v = 0.1 + rng->NextDouble();
+  return f;
+}
+
+}  // namespace
+
+GraphicalModel GridMrf(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  GraphicalModel m;
+  const int n = rows * cols;
+  m.domains.resize(n);
+  for (int v = 0; v < n; ++v) m.domains[v] = 2 + (v % 2);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.factors.push_back(RandomFactor({id(r, c)}, m.domains, &rng));
+      if (c + 1 < cols) {
+        m.factors.push_back(
+            RandomFactor({id(r, c), id(r, c + 1)}, m.domains, &rng));
+      }
+      if (r + 1 < rows) {
+        m.factors.push_back(
+            RandomFactor({id(r, c), id(r + 1, c)}, m.domains, &rng));
+      }
+    }
+  }
+  return m;
+}
+
+GraphicalModel RandomBayesNet(int n, int max_parents, int max_domain,
+                              uint64_t seed) {
+  Rng rng(seed);
+  GraphicalModel m;
+  m.domains.resize(n);
+  for (int v = 0; v < n; ++v) m.domains[v] = 2 + (v % (max_domain - 1));
+  for (int v = 0; v < n; ++v) {
+    std::vector<int> scope = {v};
+    if (v > 0) {
+      const int parents = rng.NextInt(0, std::min(max_parents, v));
+      for (int p = 0; p < parents; ++p) {
+        const int candidate = rng.NextInt(0, v - 1);
+        if (std::find(scope.begin(), scope.end(), candidate) == scope.end()) {
+          scope.push_back(candidate);
+        }
+      }
+    }
+    m.factors.push_back(RandomFactor(std::move(scope), m.domains, &rng));
+  }
+  return m;
+}
+
+std::vector<NamedModel> InferenceModels() {
+  std::vector<NamedModel> out;
+  out.push_back({"grid3x3", GridMrf(3, 3, 901)});
+  out.push_back({"grid4x3", GridMrf(4, 3, 902)});
+  out.push_back({"chain10", RandomBayesNet(10, 1, 4, 903)});
+  out.push_back({"bn12", RandomBayesNet(12, 2, 3, 904)});
+  out.push_back({"bn16", RandomBayesNet(16, 3, 3, 905)});
+  return out;
+}
+
+std::optional<GraphicalModel> InferenceModelByName(const std::string& name) {
+  for (NamedModel& nm : InferenceModels()) {
+    if (nm.name == name) return std::move(nm.model);
+  }
+  return std::nullopt;
+}
+
+}  // namespace workloads
+}  // namespace mintri

@@ -1,0 +1,47 @@
+#ifndef MINTRI_WORKLOADS_INFERENCE_MODELS_H_
+#define MINTRI_WORKLOADS_INFERENCE_MODELS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "inference/model_io.h"
+
+namespace mintri {
+namespace workloads {
+
+/// A named graphical-model instance (the inference analogue of
+/// DatasetGraph): input to the state-space application cost and the
+/// appcost benchmark suite.
+struct NamedModel {
+  std::string name;
+  GraphicalModel model;
+};
+
+/// Deterministic small graphical models spanning the inference regimes the
+/// paper motivates (grid MRFs, moralized Bayesian networks, chains with
+/// mixed domain sizes). All are sized so ranked enumeration of their moral
+/// graphs completes in well under a second; tables are strictly positive so
+/// inference is non-degenerate.
+std::vector<NamedModel> InferenceModels();
+
+/// A single model by name ("grid3x3", "grid4x3", "chain10", "bn12",
+/// "bn16"); std::nullopt for unknown names. The `gm:<name>` builtin specs
+/// of `mintri batch` resolve through this.
+std::optional<GraphicalModel> InferenceModelByName(const std::string& name);
+
+/// A random Bayesian network as a Markov model: each vertex v > 0 gets up
+/// to `max_parents` random earlier parents and one factor over
+/// {v} ∪ parents; domains cycle through 2..max_domain. Deterministic given
+/// the seed.
+GraphicalModel RandomBayesNet(int n, int max_parents, int max_domain,
+                              uint64_t seed);
+
+/// A grid MRF: pairwise factors on a rows × cols lattice plus unary
+/// factors; domains alternate 2 and 3. Deterministic given the seed.
+GraphicalModel GridMrf(int rows, int cols, uint64_t seed);
+
+}  // namespace workloads
+}  // namespace mintri
+
+#endif  // MINTRI_WORKLOADS_INFERENCE_MODELS_H_

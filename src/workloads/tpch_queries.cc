@@ -160,5 +160,23 @@ std::vector<TpchQuery> AllTpchQueries() {
   return out;
 }
 
+Hypergraph TpchQueryHypergraph(const TpchQuery& q) {
+  const int relations = q.graph.NumVertices();
+  const auto& joins = q.graph.Edges();
+  const int n = relations + static_cast<int>(joins.size());
+  Hypergraph h(n);
+  for (int r = 0; r < relations; ++r) {
+    VertexSet edge(n);
+    edge.Insert(r);  // the relation's private attributes
+    for (size_t j = 0; j < joins.size(); ++j) {
+      if (joins[j].first == r || joins[j].second == r) {
+        edge.Insert(relations + static_cast<int>(j));
+      }
+    }
+    h.AddEdge(std::move(edge));
+  }
+  return h;
+}
+
 }  // namespace workloads
 }  // namespace mintri

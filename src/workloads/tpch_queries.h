@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "hypergraph/hypergraph.h"
 
 namespace mintri {
 namespace workloads {
@@ -26,6 +27,19 @@ TpchQuery TpchQueryGraph(int q);
 
 /// All 22 queries.
 std::vector<TpchQuery> AllTpchQueries();
+
+/// The conjunctive-query (hypergraph) view of a TPC-H join query, the input
+/// the paper's hypertree-width application costs score: one vertex per join
+/// predicate (the equated attributes) plus one "private attributes" vertex
+/// per relation occurrence, and one hyperedge per relation occurrence —
+/// {its private vertex} ∪ {its incident join predicates}. Every vertex is
+/// covered (each relation has non-join attributes in TPC-H), so edge-cover
+/// bag scores over this hypergraph's primal graph are finite and ranked
+/// enumeration under --cost=hypertree|fhw measures the query's
+/// (fractional) hypertree width. Vertex layout: private vertex i for
+/// relation i in [0, R), then join vertex R + j for the j-th edge of
+/// q.graph.Edges().
+Hypergraph TpchQueryHypergraph(const TpchQuery& q);
 
 }  // namespace workloads
 }  // namespace mintri

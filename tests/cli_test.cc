@@ -140,6 +140,88 @@ TEST(CliTest, BenchHelpAndArgumentValidation) {
   EXPECT_EQ(Invoke({"bench", "--bogus-flag"}, "").code, 1);
 }
 
+TEST(CliTest, RankSubcommandIsTheBareAliasSpelled) {
+  CliResult bare = Invoke({"--cost=fill", "--top=10"}, kC4);
+  CliResult rank = Invoke({"rank", "--cost=fill", "--top=10"}, kC4);
+  EXPECT_EQ(rank.code, 0) << rank.err;
+  EXPECT_EQ(rank.out, bare.out);
+}
+
+TEST(CliTest, FhwOnTpchHypergraphBuiltin) {
+  // TPC-H Q5's join cycle: the cheapest decomposition has fhw 2.
+  CliResult r = Invoke({"rank", "--cost=fhw", "--top=1", "tpch:5"}, "");
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("#1 cost=2"), std::string::npos) << r.out;
+  // The acyclic Q3 chain has fhw 1.
+  CliResult acyclic =
+      Invoke({"rank", "--cost=fhw", "--top=1", "tpch:3"}, "");
+  EXPECT_EQ(acyclic.code, 0) << acyclic.err;
+  EXPECT_NE(acyclic.out.find("#1 cost=1"), std::string::npos) << acyclic.out;
+}
+
+TEST(CliTest, HypertreeCostRequiresHypergraphInstance) {
+  CliResult r = Invoke({"--cost=hypertree"}, kC4);
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("hypergraph"), std::string::npos) << r.err;
+  EXPECT_EQ(Invoke({"--cost=fhw"}, kC4).code, 1);
+}
+
+TEST(CliTest, HypergraphOnStdin) {
+  // The triangle query as a .hg stream: ghw 2, fhw 1.5.
+  const char* kTriangle = "p hg 3 3\n1 2\n2 3\n3 1\n";
+  CliResult ghw =
+      Invoke({"--input=hg", "--cost=hypertree", "--top=1"}, kTriangle);
+  EXPECT_EQ(ghw.code, 0) << ghw.err;
+  EXPECT_NE(ghw.out.find("#1 cost=2"), std::string::npos) << ghw.out;
+  CliResult fhw = Invoke({"--input=hg", "--cost=fhw", "--top=1"}, kTriangle);
+  EXPECT_EQ(fhw.code, 0) << fhw.err;
+  EXPECT_NE(fhw.out.find("#1 cost=1.5"), std::string::npos) << fhw.out;
+  EXPECT_EQ(Invoke({"--input=hg"}, "not a hypergraph").code, 1);
+  EXPECT_EQ(Invoke({"--input=bogus"}, kTriangle).code, 1);
+}
+
+TEST(CliTest, UaiModelOnStdin) {
+  // Two binary variables, one pairwise factor: a single 2-variable bag,
+  // state space 4.
+  const char* kModel =
+      "MARKOV\n2\n2 2\n1\n2 0 1\n4 1 2 3 4\n";
+  CliResult r =
+      Invoke({"--input=uai", "--cost=state-space", "--top=1"}, kModel);
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("#1 cost=4"), std::string::npos) << r.out;
+}
+
+TEST(CliTest, StatsReportCacheHitRate) {
+  CliResult r =
+      Invoke({"rank", "--cost=fhw", "--top=5", "--stats", "tpch:5"}, "");
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("bag-score cache: lookups="), std::string::npos)
+      << r.err;
+  // --no-cache suppresses the cache (and so its stats line).
+  CliResult off = Invoke(
+      {"rank", "--cost=fhw", "--top=5", "--stats", "--no-cache", "tpch:5"},
+      "");
+  EXPECT_EQ(off.code, 0) << off.err;
+  EXPECT_EQ(off.err.find("bag-score cache"), std::string::npos) << off.err;
+  EXPECT_EQ(off.out, r.out);
+}
+
+TEST(CliTest, BatchCommand) {
+  CliResult help = Invoke({"batch", "--help"}, "");
+  EXPECT_EQ(help.code, 0) << help.err;
+  EXPECT_NE(help.out.find("usage: mintri batch"), std::string::npos);
+
+  EXPECT_EQ(Invoke({"batch"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "no-such-list.txt"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--threads=0"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--inner-threads=-1"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--top=0"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--top=-3"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--time-limit=-1"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--time-limit=0"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--bogus"}, "").code, 1);
+}
+
 TEST(CliTest, BenchSmokeEmitsSchemaShapedJson) {
   // The smallest real run: one suite, smoke-trimmed families, JSON on
   // stdout. Spot-checks the schema keys the validator enforces.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "cost/standard_costs.h"
 #include "enumeration/ranked_enum.h"
 #include "hypergraph/edge_cover.h"
@@ -41,6 +43,57 @@ TEST(LinearProgramTest, ZeroObjective) {
   auto sol = lp.Maximize();
   ASSERT_TRUE(sol.has_value());
   EXPECT_NEAR(sol->objective, 0.0, 1e-9);
+}
+
+// Regression: input validation used to be assert-only, which compiles out
+// in Release — a negative b then silently produced garbage (the all-slack
+// basis is infeasible, violating the solver's invariant). Malformed input
+// must yield std::nullopt in every build type.
+TEST(LinearProgramTest, RejectsNegativeRhs) {
+  LinearProgram lp({{1.0}}, {-1.0}, {1.0});
+  EXPECT_FALSE(lp.Maximize().has_value());
+}
+
+TEST(LinearProgramTest, RejectsDimensionMismatches) {
+  // More rows in A than entries in b.
+  LinearProgram rows({{1.0}, {2.0}}, {1.0}, {1.0});
+  EXPECT_FALSE(rows.Maximize().has_value());
+  // Ragged row: two coefficients for one variable.
+  LinearProgram ragged({{1.0, 2.0}}, {1.0}, {1.0});
+  EXPECT_FALSE(ragged.Maximize().has_value());
+  // NaN bound.
+  LinearProgram nan_b({{1.0}}, {std::nan("")}, {1.0});
+  EXPECT_FALSE(nan_b.Maximize().has_value());
+}
+
+// Regression for the leaving-row rule: heavily degenerate LPs (many rows
+// tied at ratio zero) must still pivot to the true optimum. The old
+// single-pass min-ratio test compared each candidate against a drifting
+// best_ratio with an ε window mixed into the Bland tie-break.
+TEST(LinearProgramTest, DegenerateTiesPivotCorrectly) {
+  // Two constraints pass through the origin (x <= y, x <= 2y), so the first
+  // pivots are degenerate; optimum 10 at (5, 5).
+  LinearProgram lp({{1, -1}, {1, -2}, {1, 1}}, {0, 0, 10}, {3, -1});
+  auto sol = lp.Maximize();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 10.0, 1e-6);
+  EXPECT_NEAR(sol->x[0], 5.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 5.0, 1e-6);
+}
+
+TEST(LinearProgramTest, ManyTiedRowsStayFeasible) {
+  // Ten identical degenerate rows plus one binding row; the solution must
+  // keep every slack nonnegative (a wrong leaving row would go infeasible).
+  std::vector<std::vector<double>> a(10, {1.0, -1.0});
+  a.push_back({1.0, 0.0});
+  std::vector<double> b(10, 0.0);
+  b.push_back(7.0);
+  LinearProgram lp(std::move(a), std::move(b), {2.0, -1.0});
+  auto sol = lp.Maximize();
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 7.0, 1e-6);  // x = (7, 7)
+  EXPECT_NEAR(sol->x[0], 7.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 7.0, 1e-6);
 }
 
 TEST(HypergraphTest, PrimalGraphSaturatesEdges) {

@@ -123,6 +123,46 @@ TEST_P(JunctionTreeRandomTest, MatchesBruteForceOnRandomGridModels) {
 INSTANTIATE_TEST_SUITE_P(Seeds, JunctionTreeRandomTest,
                          ::testing::Range(0, 6));
 
+// Regression: a zero partition function used to yield silently all-zero
+// "marginals" with no indication anything was wrong. The degenerate case
+// must be signalled explicitly, by both inference paths.
+TEST(JunctionTreeTest, ZeroPartitionFunctionIsSignalled) {
+  std::vector<int> domains = {2, 2};
+  std::vector<Factor> factors = {{{0, 1}, {0.0, 0.0, 0.0, 0.0}}};
+  JunctionTreeInference model(domains, factors);
+  TreeDecomposition td;
+  td.bags = {VertexSet::Of(2, {0, 1})};
+  auto r = model.Run(td);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->degenerate);
+  EXPECT_EQ(r->partition_function, 0.0);
+  auto brute = model.BruteForce();
+  EXPECT_TRUE(brute.degenerate);
+  EXPECT_EQ(brute.partition_function, 0.0);
+  // A well-posed model reports non-degenerate through both paths.
+  std::vector<Factor> ok = {{{0, 1}, {1.0, 2.0, 3.0, 4.0}}};
+  JunctionTreeInference good(domains, ok);
+  EXPECT_FALSE(good.BruteForce().degenerate);
+  EXPECT_FALSE(good.Run(td)->degenerate);
+}
+
+// Regression: the flat indices both inference paths compute are bounded by
+// the product of each scope's domains, so a factor whose table size
+// disagrees with its scope used to read out of bounds (caught by ASan on
+// the old code). BruteForce reports the mismatch as degenerate (its
+// signature has no failure channel); Run rejects the model outright.
+TEST(JunctionTreeTest, MismatchedFactorTablesAreRejected) {
+  std::vector<int> domains = {2, 2};
+  std::vector<Factor> factors = {{{0, 1}, {1.0, 2.0}}};  // should be 4 wide
+  JunctionTreeInference model(domains, factors);
+  auto r = model.BruteForce();
+  EXPECT_TRUE(r.degenerate);
+  EXPECT_EQ(r.partition_function, 0.0);
+  TreeDecomposition td;
+  td.bags = {VertexSet::Of(2, {0, 1})};
+  EXPECT_FALSE(model.Run(td).has_value());
+}
+
 TEST(JunctionTreeTest, ForestModel) {
   // Disconnected model: two independent pairs.
   std::vector<int> domains = {2, 2, 2, 2};
