@@ -32,6 +32,11 @@ ENTRY = {
     "results_per_sec": float,
     "init_seconds": float,
     "cost": str,
+    "solver": str,
+    "candidate_evals": int,
+    "combine_calls": int,
+    "index_updates": int,
+    "range_queries": int,
     "cache_hit_rate": float,
     "status": str,
 }
@@ -44,6 +49,9 @@ KNOWN_STATUSES = {"complete", "truncated", "ms-terminated", "pmc-terminated",
                   "cost-error"}
 # The application costs the appcost suite ranks by.
 APPCOST_COSTS = {"hypertree", "fhw", "state-space"}
+# The ranked suite's repair engines (bench --solver values). The default
+# sweep emits one entry per engine at every (threads, graph) point.
+RANKED_SOLVERS = {"indexed", "scan"}
 
 
 def fail(message):
@@ -77,7 +85,7 @@ def main():
         fail(f"cannot parse {args[0]}: {e}")
 
     check_fields(report, TOP_LEVEL, "top level")
-    if report["schema_version"] != 1:
+    if report["schema_version"] != 2:
         fail(f"unsupported schema_version {report['schema_version']}")
     if not report["git_sha"]:
         fail("git_sha is empty")
@@ -112,10 +120,36 @@ def main():
         if not 0 <= entry["cache_hit_rate"] <= 1:
             fail(f"{where}: cache_hit_rate {entry['cache_hit_rate']} "
                  f"outside [0, 1]")
+        if any(entry[k] < 0 for k in ("candidate_evals", "combine_calls",
+                                      "index_updates", "range_queries")):
+            fail(f"{where}: negative solver counter")
+        if entry["suite"] == "ranked":
+            if entry["solver"] not in RANKED_SOLVERS:
+                fail(f"{where}: ranked entry has solver "
+                     f"{entry['solver']!r}, expected one of "
+                     f"{sorted(RANKED_SOLVERS)}")
+            # The list-scan baseline has no segment tree to touch.
+            if entry["solver"] == "scan" and (entry["index_updates"] != 0 or
+                                              entry["range_queries"] != 0):
+                fail(f"{where}: scan entry reports index activity")
+        elif entry["solver"]:
+            fail(f"{where}: non-ranked entry has solver "
+                 f"{entry['solver']!r}")
         if entry["suite"] == "appcost":
             if entry["cost"] not in APPCOST_COSTS:
                 fail(f"{where}: appcost entry has cost {entry['cost']!r}, "
                      f"expected one of {sorted(APPCOST_COSTS)}")
+
+    # The CI smoke gate must exercise both repair engines — a report with
+    # only one means the interleaved comparison (and the byte-identity
+    # cross-check it implies) silently stopped running.
+    if smoke and "ranked" in suites:
+        seen_solvers = {e["solver"] for e in entries
+                        if e["suite"] == "ranked"}
+        if seen_solvers != RANKED_SOLVERS:
+            fail(f"smoke ranked entries cover solvers "
+                 f"{sorted(seen_solvers)}, expected both of "
+                 f"{sorted(RANKED_SOLVERS)}")
 
     per_suite = {s: sum(1 for e in entries if e["suite"] == s)
                  for s in suites}

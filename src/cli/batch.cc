@@ -8,6 +8,7 @@
 #include <optional>
 #include <sstream>
 
+#include "cli/flags.h"
 #include "cost/cost_model_registry.h"
 #include "enumeration/ranked_forest.h"
 #include "parallel/thread_pool.h"
@@ -87,6 +88,7 @@ BatchRecord RunOneInstance(const std::string& spec,
     const BagScoreCache::Stats stats = model->cache->stats();
     record.cache_lookups = stats.lookups;
     record.cache_hits = stats.hits;
+    record.cache_misses = stats.misses;
   }
   record.status = "ok";
   return record;
@@ -143,7 +145,8 @@ void WriteBatchJson(const std::vector<BatchRecord>& records,
     out << ", \"n\": " << r.n << ", \"m\": " << r.m << ", \"init_seconds\": ";
     AppendJsonCost(r.init_seconds, out);
     out << ", \"cache_lookups\": " << r.cache_lookups
-        << ", \"cache_hits\": " << r.cache_hits;
+        << ", \"cache_hits\": " << r.cache_hits
+        << ", \"cache_misses\": " << r.cache_misses;
     if (!r.error.empty()) {
       out << ", \"error\": ";
       AppendJsonString(r.error, out);
@@ -166,10 +169,6 @@ int RunBatchCommand(const std::vector<std::string>& args, std::ostream& out,
   BatchOptions options;
   std::string list_path;
   std::string out_path = "-";
-  auto parse_int = [](const std::string& value, long long* result) {
-    std::istringstream is(value);
-    return static_cast<bool>(is >> *result) && is.eof();
-  };
   for (const std::string& arg : args) {
     if (arg == "--help" || arg == "-h") {
       out << kBatchUsage;
@@ -177,34 +176,28 @@ int RunBatchCommand(const std::vector<std::string>& args, std::ostream& out,
     } else if (arg.rfind("--cost=", 0) == 0) {
       options.cost = arg.substr(7);
     } else if (arg.rfind("--top=", 0) == 0) {
-      if (!parse_int(arg.substr(6), &options.top) || options.top < 1) {
+      if (!flags::ParseNumber(arg.substr(6), &options.top) ||
+          options.top < 1) {
         err << "invalid value for --top: " << arg.substr(6)
             << " (expected an integer >= 1)\n";
         return 1;
       }
     } else if (arg.rfind("--threads=", 0) == 0) {
-      long long v = 0;
-      if (!parse_int(arg.substr(10), &v) || v < 1 ||
-          v > parallel::kMaxRunThreads) {
+      if (!flags::ParseThreads(arg.substr(10), &options.threads)) {
         err << "invalid value for --threads: " << arg.substr(10)
-            << " (expected an integer in 1.." << parallel::kMaxRunThreads
+            << " (expected an integer in 1.." << flags::MaxThreads()
             << ")\n";
         return 1;
       }
-      options.threads = static_cast<int>(v);
     } else if (arg.rfind("--inner-threads=", 0) == 0) {
-      long long v = 0;
-      if (!parse_int(arg.substr(16), &v) || v < 1 ||
-          v > parallel::kMaxRunThreads) {
+      if (!flags::ParseThreads(arg.substr(16), &options.inner_threads)) {
         err << "invalid value for --inner-threads: " << arg.substr(16)
-            << " (expected an integer in 1.." << parallel::kMaxRunThreads
+            << " (expected an integer in 1.." << flags::MaxThreads()
             << ")\n";
         return 1;
       }
-      options.inner_threads = static_cast<int>(v);
     } else if (arg.rfind("--time-limit=", 0) == 0) {
-      std::istringstream is(arg.substr(13));
-      if (!(is >> options.time_limit) || !is.eof() ||
+      if (!flags::ParseNumber(arg.substr(13), &options.time_limit) ||
           !(options.time_limit > 0)) {
         err << "invalid value for --time-limit: " << arg.substr(13)
             << " (expected a positive number of seconds)\n";

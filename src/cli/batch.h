@@ -36,6 +36,7 @@ struct BatchRecord {
   double init_seconds = 0;
   long long cache_lookups = 0;
   long long cache_hits = 0;
+  long long cache_misses = 0;
   struct Row {
     int rank = 0;
     CostValue cost = 0;

@@ -1,12 +1,12 @@
 #include "cli/cli.h"
 
-#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <optional>
 
 #include "bench/bench_suites.h"
 #include "cli/batch.h"
+#include "cli/flags.h"
 #include "cost/cost_model_registry.h"
 #include "cost/standard_costs.h"
 #include "enumeration/ckk.h"
@@ -27,6 +27,7 @@ struct Options {
   std::string input = "gr";  // stdin format: gr | hg | uai
   double time_limit = 30.0;
   int threads = 1;
+  std::string solver = "indexed";
   bool no_cache = false;
   bool stats = false;
   bool help = false;
@@ -60,44 +61,13 @@ constexpr char kUsage[] =
     "  --time-limit=SEC   initialization budget in seconds (default 30)\n"
     "  --threads=N        worker threads for the separator/PMC enumeration\n"
     "                     during initialization (default 1 = serial)\n"
+    "  --solver=indexed|scan  repair engine for the incremental DP: the\n"
+    "                     segment-tree candidate index (default) or the\n"
+    "                     list-scan baseline; both print identical results\n"
     "  --no-cache         disable the memoized bag-score cache\n"
     "  --stats            print initialization + cache statistics to\n"
     "                     stderr\n"
     "  --help             show this message and exit\n";
-
-bool ParseNumber(const std::string& value, long long* out) {
-  char* end = nullptr;
-  *out = std::strtoll(value.c_str(), &end, 10);
-  return end != value.c_str() && *end == '\0';
-}
-
-bool ParseNumber(const std::string& value, int* out) {
-  long long wide;
-  if (!ParseNumber(value, &wide)) return false;
-  *out = static_cast<int>(wide);
-  return true;
-}
-
-bool ParseNumber(const std::string& value, double* out) {
-  char* end = nullptr;
-  *out = std::strtod(value.c_str(), &end);
-  return end != value.c_str() && *end == '\0';
-}
-
-// A thread count must land in [1, parallel::kMaxRunThreads] — the same
-// ceiling the engines clamp to, so --threads=N never lies about the worker
-// count. The range check runs on the wide parse (no silent int truncation
-// for values like 2^32+1).
-constexpr long long kMaxThreads = parallel::kMaxRunThreads;
-
-bool ParseThreads(const std::string& value, int* out) {
-  long long wide;
-  if (!ParseNumber(value, &wide) || wide < 1 || wide > kMaxThreads) {
-    return false;
-  }
-  *out = static_cast<int>(wide);
-  return true;
-}
 
 bool ParseArgs(const std::vector<std::string>& args, Options* options,
                std::ostream& err) {
@@ -109,14 +79,14 @@ bool ParseArgs(const std::vector<std::string>& args, Options* options,
     if (auto cost = value_of("--cost=")) {
       options->cost = *cost;
     } else if (auto top = value_of("--top=")) {
-      if (!ParseNumber(*top, &options->top)) {
+      if (!flags::ParseNumber(*top, &options->top)) {
         err << "invalid value for --top: " << *top << "\n";
         return false;
       }
     } else if (auto algo = value_of("--algo=")) {
       options->algo = *algo;
     } else if (auto bound = value_of("--bound=")) {
-      if (!ParseNumber(*bound, &options->bound)) {
+      if (!flags::ParseNumber(*bound, &options->bound)) {
         err << "invalid value for --bound: " << *bound << "\n";
         return false;
       }
@@ -130,16 +100,23 @@ bool ParseArgs(const std::vector<std::string>& args, Options* options,
       }
       options->input = *input;
     } else if (auto time_limit = value_of("--time-limit=")) {
-      if (!ParseNumber(*time_limit, &options->time_limit)) {
+      if (!flags::ParseNumber(*time_limit, &options->time_limit)) {
         err << "invalid value for --time-limit: " << *time_limit << "\n";
         return false;
       }
     } else if (auto threads = value_of("--threads=")) {
-      if (!ParseThreads(*threads, &options->threads)) {
+      if (!flags::ParseThreads(*threads, &options->threads)) {
         err << "invalid value for --threads: " << *threads
-            << " (expected an integer in 1.." << kMaxThreads << ")\n";
+            << " (expected an integer in 1.." << flags::MaxThreads() << ")\n";
         return false;
       }
+    } else if (auto solver = value_of("--solver=")) {
+      if (*solver != "indexed" && *solver != "scan") {
+        err << "invalid value for --solver: " << *solver
+            << " (expected indexed or scan)\n";
+        return false;
+      }
+      options->solver = *solver;
     } else if (arg == "--no-cache") {
       options->no_cache = true;
     } else if (arg == "--stats") {
@@ -174,6 +151,9 @@ constexpr char kBenchUsage[] =
     "  --smoke      CI-sized run: few families, capped graphs, short budgets\n"
     "  --threads=N  run every suite at exactly N threads; default is the\n"
     "               sweep {1, hardware_concurrency} for minseps/pmc/ranked\n"
+    "  --solver=indexed|scan  pin the ranked suite's repair engine; default\n"
+    "               runs every ranked point with both back to back (the\n"
+    "               interleaved before/after comparison)\n"
     "  --quiet      no per-graph progress on stderr\n"
     "  --help       show this message and exit\n"
     "\n"
@@ -196,11 +176,19 @@ int RunBenchCommand(const std::vector<std::string>& args, std::ostream& out,
       quiet = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       const std::string value = arg.substr(10);
-      if (!ParseThreads(value, &options.threads)) {
+      if (!flags::ParseThreads(value, &options.threads)) {
         err << "invalid value for --threads: " << value
-            << " (expected an integer in 1.." << kMaxThreads << ")\n";
+            << " (expected an integer in 1.." << flags::MaxThreads() << ")\n";
         return 1;
       }
+    } else if (arg.rfind("--solver=", 0) == 0) {
+      const std::string value = arg.substr(9);
+      if (value != "indexed" && value != "scan") {
+        err << "invalid value for --solver: " << value
+            << " (expected indexed or scan)\n";
+        return 1;
+      }
+      options.solver = value;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -300,7 +288,8 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     if (!options.stats || model->cache == nullptr) return;
     const BagScoreCache::Stats stats = model->cache->stats();
     err << "bag-score cache: lookups=" << stats.lookups
-        << " hits=" << stats.hits << " hit_rate=" << stats.HitRate() << "\n";
+        << " hits=" << stats.hits << " misses=" << stats.misses
+        << " hit_rate=" << stats.HitRate() << "\n";
   };
 
   if (options.algo == "ckk") {
@@ -336,7 +325,10 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     return 1;
   }
 
-  RankedForestEnumerator e(g, cost, model->composition, ctx_options);
+  SolverOptions solver_options;
+  solver_options.use_candidate_index = options.solver == "indexed";
+  RankedForestEnumerator e(g, cost, model->composition, ctx_options,
+                           solver_options);
   const ContextBuildInfo& info = e.init_info();
   if (!e.init_ok()) {
     err << "initialization " << info.TerminationName() << " after "
@@ -358,6 +350,14 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
     auto t = e.Next();
     if (!t.has_value()) break;
     PrintResult(options, g, static_cast<int>(rank), *t, out);
+  }
+  if (options.stats) {
+    err << "solver[" << options.solver
+        << "]: optimizer_calls=" << e.num_optimizer_calls()
+        << " candidate_evals=" << e.num_candidate_evals()
+        << " combine_calls=" << e.num_combine_calls()
+        << " index_updates=" << e.num_index_updates()
+        << " range_queries=" << e.num_range_queries() << "\n";
   }
   print_cache_stats();
   return 0;

@@ -11,6 +11,9 @@ CostValue BagScoreCache::operator()(const VertexSet& bag) {
       ++hits_;
       return values_[idx];
     }
+    // Counted here, not after the insert: a racing miss that loses the
+    // insert is still a miss, keeping lookups == hits + misses exact.
+    ++misses_;
   }
   const CostValue value = score_(bag);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -21,7 +24,7 @@ CostValue BagScoreCache::operator()(const VertexSet& bag) {
 
 BagScoreCache::Stats BagScoreCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{lookups_, hits_};
+  return Stats{lookups_, hits_, misses_};
 }
 
 }  // namespace mintri

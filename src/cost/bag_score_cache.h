@@ -33,9 +33,14 @@ class BagScoreCache {
   /// The memoized score of `bag`.
   CostValue operator()(const VertexSet& bag);
 
+  /// Every lookup is either a hit or a miss at the instant it probes the
+  /// table — `lookups == hits + misses` holds under any interleaving. A
+  /// racing miss that loses the insert still counts as a miss (it did pay
+  /// for a score computation).
   struct Stats {
     long long lookups = 0;
     long long hits = 0;
+    long long misses = 0;
     double HitRate() const {
       return lookups > 0 ? static_cast<double>(hits) / lookups : 0.0;
     }
@@ -49,6 +54,7 @@ class BagScoreCache {
   std::vector<CostValue> values_;  // values_[i] = score of table_.At(i)
   long long lookups_ = 0;
   long long hits_ = 0;
+  long long misses_ = 0;
 };
 
 }  // namespace mintri

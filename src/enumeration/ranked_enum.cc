@@ -20,8 +20,9 @@ void EraseSorted(std::vector<int>* v, int id) {
 }  // namespace
 
 RankedTriangulationEnumerator::RankedTriangulationEnumerator(
-    const TriangulationContext& ctx, const BagCost& cost)
-    : ctx_(ctx), solver_(ctx, cost) {
+    const TriangulationContext& ctx, const BagCost& cost,
+    const SolverOptions& solver_options)
+    : ctx_(ctx), solver_(ctx, cost, solver_options) {
   ++num_optimizer_calls_;
   std::optional<Triangulation> first = solver_.Solve({}, {});
   if (first.has_value()) {
@@ -49,7 +50,9 @@ void RankedTriangulationEnumerator::CollectConstraints(
 }
 
 std::optional<Triangulation> RankedTriangulationEnumerator::Next() {
-  if (exhausted_ || queue_.empty()) {
+  // A truncated stream stays truncated: part of some Lawler–Murty expansion
+  // was skipped, so continuing would silently drop or misorder results.
+  if (exhausted_ || truncated_ || queue_.empty()) {
     exhausted_ = true;
     return std::nullopt;
   }
@@ -86,6 +89,12 @@ std::optional<Triangulation> RankedTriangulationEnumerator::Next() {
     const int partition = static_cast<int>(arena_.size()) - 1;
     ++num_optimizer_calls_;
     std::optional<Triangulation> h = solver_.Solve(include, exclude);
+    if (solver_.truncated()) {
+      // Out of budget mid-expansion. The popped result is already correct —
+      // hand it out — but the stream ends here, truthfully marked.
+      truncated_ = true;
+      break;
+    }
     if (h.has_value()) {
       // The solver returned a finite-cost triangulation, which under
       // κ[I_i, X_i] already implies H ⊨ [I_i, X_i] (the satisfaction test

@@ -41,11 +41,25 @@ namespace mintri {
 /// any time (the "anytime" usage the paper motivates).
 class RankedTriangulationEnumerator {
  public:
-  /// `ctx` and `cost` must outlive the enumerator.
+  /// `ctx` and `cost` must outlive the enumerator. `solver_options` selects
+  /// the repair engine (segment-tree candidate index vs. the list-scan
+  /// baseline); both produce byte-identical streams.
   RankedTriangulationEnumerator(const TriangulationContext& ctx,
-                                const BagCost& cost);
+                                const BagCost& cost,
+                                const SolverOptions& solver_options = {});
 
   std::optional<Triangulation> Next();
+
+  /// Per-enumeration wall-clock budget, polled by the solver inside its
+  /// repair loops. When it expires mid-Next the current result is still
+  /// returned, but the Lawler–Murty expansion stops: truncated() turns true
+  /// and every later Next() yields std::nullopt (the remaining stream can
+  /// no longer be guaranteed complete or in order). Nullptr disables.
+  void SetDeadline(const Deadline* deadline) { solver_.set_deadline(deadline); }
+
+  /// True when a deadline cut the enumeration short (the stream ended by
+  /// budget, not by exhaustion).
+  bool truncated() const { return truncated_; }
 
   /// Number of (constrained) optimizer invocations so far (for the
   /// experiment harness).
@@ -60,6 +74,9 @@ class RankedTriangulationEnumerator {
   /// Evaluations that reached the (expensive) base Combine; the rest
   /// short-circuited on a constraint violation or infeasible child.
   long long num_combine_calls() const { return solver_.num_combine_calls(); }
+  /// Segment-tree repair counters (0 under the list-scan solver path).
+  long long num_index_updates() const { return solver_.num_index_updates(); }
+  long long num_range_queries() const { return solver_.num_range_queries(); }
 
  private:
   /// One separator moved into I (is_include) or X (!is_include), chained to
@@ -94,6 +111,7 @@ class RankedTriangulationEnumerator {
   long long sequence_ = 0;
   long long num_optimizer_calls_ = 0;
   bool exhausted_ = false;
+  bool truncated_ = false;
 };
 
 /// Ranked enumeration of proper tree decompositions (Proposition 6.1): the

@@ -4,10 +4,9 @@
 
 namespace mintri {
 
-RankedForestEnumerator::RankedForestEnumerator(const Graph& g,
-                                               const BagCost& cost,
-                                               CostComposition composition,
-                                               const ContextOptions& options)
+RankedForestEnumerator::RankedForestEnumerator(
+    const Graph& g, const BagCost& cost, CostComposition composition,
+    const ContextOptions& options, const SolverOptions& solver_options)
     : g_(g), composition_(composition) {
   for (const VertexSet& comp_vertices : g.ConnectedComponents()) {
     Component comp;
@@ -34,7 +33,8 @@ RankedForestEnumerator::RankedForestEnumerator(const Graph& g,
     }
     comp.enumerator = std::make_unique<RankedTriangulationEnumerator>(
         *comp.context,
-        comp.restricted_cost != nullptr ? *comp.restricted_cost : cost);
+        comp.restricted_cost != nullptr ? *comp.restricted_cost : cost,
+        solver_options);
     components_.push_back(std::move(comp));
   }
   if (components_.empty()) return;  // empty graph: nothing to enumerate
@@ -48,6 +48,50 @@ RankedForestEnumerator::RankedForestEnumerator(const Graph& g,
     queue_.push({Compose(first), first});
     enqueued_.insert(first);
   }
+}
+
+void RankedForestEnumerator::SetDeadline(const Deadline* deadline) {
+  for (Component& comp : components_) {
+    if (comp.enumerator != nullptr) comp.enumerator->SetDeadline(deadline);
+  }
+}
+
+bool RankedForestEnumerator::truncated() const {
+  for (const Component& comp : components_) {
+    if (comp.enumerator != nullptr && comp.enumerator->truncated()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+long long RankedForestEnumerator::SumOverComponents(
+    long long (RankedTriangulationEnumerator::*stat)() const) const {
+  long long sum = 0;
+  for (const Component& comp : components_) {
+    if (comp.enumerator != nullptr) sum += ((*comp.enumerator).*stat)();
+  }
+  return sum;
+}
+
+long long RankedForestEnumerator::num_optimizer_calls() const {
+  return SumOverComponents(&RankedTriangulationEnumerator::num_optimizer_calls);
+}
+
+long long RankedForestEnumerator::num_candidate_evals() const {
+  return SumOverComponents(&RankedTriangulationEnumerator::num_candidate_evals);
+}
+
+long long RankedForestEnumerator::num_combine_calls() const {
+  return SumOverComponents(&RankedTriangulationEnumerator::num_combine_calls);
+}
+
+long long RankedForestEnumerator::num_index_updates() const {
+  return SumOverComponents(&RankedTriangulationEnumerator::num_index_updates);
+}
+
+long long RankedForestEnumerator::num_range_queries() const {
+  return SumOverComponents(&RankedTriangulationEnumerator::num_range_queries);
 }
 
 bool RankedForestEnumerator::Materialize(int component, size_t i) {

@@ -31,11 +31,29 @@ class RankedForestEnumerator {
  public:
   RankedForestEnumerator(const Graph& g, const BagCost& cost,
                          CostComposition composition,
-                         const ContextOptions& options = {});
+                         const ContextOptions& options = {},
+                         const SolverOptions& solver_options = {});
 
   /// False when some component's initialization hit its limits; Next() then
   /// always returns std::nullopt.
   bool init_ok() const { return init_ok_; }
+
+  /// Per-enumeration wall-clock budget, forwarded to every component
+  /// enumerator (and from there into the solver repair loops). Nullptr
+  /// disables. See RankedTriangulationEnumerator::SetDeadline.
+  void SetDeadline(const Deadline* deadline);
+
+  /// True when a deadline cut some component's stream short — results after
+  /// that point were dropped by budget, not exhaustion.
+  bool truncated() const;
+
+  /// Solver/repair counters summed over every component enumerator (the
+  /// index counters are 0 under the list-scan solver path).
+  long long num_optimizer_calls() const;
+  long long num_candidate_evals() const;
+  long long num_combine_calls() const;
+  long long num_index_updates() const;
+  long long num_range_queries() const;
 
   /// Aggregated context-build breakdown over all components (stage seconds
   /// and counts summed; on failure, termination names the stage that gave
@@ -63,6 +81,8 @@ class RankedForestEnumerator {
 
   // Ensures produced[i] exists; false if the stream has fewer results.
   bool Materialize(int component, size_t i);
+  long long SumOverComponents(
+      long long (RankedTriangulationEnumerator::*stat)() const) const;
   CostValue Compose(const std::vector<size_t>& indices);
   Triangulation Assemble(const std::vector<size_t>& indices);
 

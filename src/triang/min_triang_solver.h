@@ -10,8 +10,21 @@
 #include "cost/bag_cost.h"
 #include "triang/context.h"
 #include "triang/triangulation.h"
+#include "util/range_min_tree.h"
+#include "util/timer.h"
 
 namespace mintri {
+
+struct SolverOptions {
+  /// Keep each block's candidate values in a range-min segment tree
+  /// (util/range_min_tree.h) so constraint deltas and child-change cascades
+  /// are O(log n) point updates + range-min queries instead of candidate-
+  /// list scans. The tree's first-minimum tie-break matches the scan's
+  /// "first strict improvement wins" rule, so both paths produce
+  /// byte-identical tables, choices, and enumeration order — the list-scan
+  /// path stays available (false) as the differential-testing baseline.
+  bool use_candidate_index = true;
+};
 
 /// The stateful MinTriang⟨κ[I,X]⟩ engine behind MinTriang and RankedTriang:
 /// the block DP of Figure 3 with its per-block candidate/value/choice tables
@@ -35,13 +48,25 @@ namespace mintri {
 ///  - a block whose DP value changed re-dirties exactly the (host, Ω)
 ///    candidates it appears under, cascading up the ascending block order.
 ///
+/// With SolverOptions::use_candidate_index (the default) each block's
+/// candidate values additionally live in the leaves of a range-min segment
+/// tree: a constraint delta or child-change touches a candidate via an
+/// O(log n) point update, and re-finding the block optimum is a range-min
+/// query at the tree root instead of a scan over the whole candidate list —
+/// the per-repair work drops from O(candidates of every touched block) to
+/// O(touched candidates · log n). Child-change cascades walk exact
+/// (host, candidate) reverse edges, so a changed block dirties only the
+/// candidates it actually appears under. The tree's first-minimum
+/// tie-break keeps the choice tables — and with them the ranked
+/// enumeration order — byte-identical to the list-scan path.
+///
 /// The repaired tables are *identical* to a from-scratch DP (same values,
 /// same first-minimum choice per block), so results are byte-for-byte equal
 /// to MinTriang over ConstrainedCost — the differential test suite pins
-/// this on randomized constraint walks. This is what makes the k
-/// constrained MinTriang calls per RankedTriang output cheap: sibling
-/// Lawler–Murty partitions differ by O(1) separators, so each call repairs
-/// a handful of blocks instead of re-filling every table (the same
+/// this on randomized constraint walks, for both solver paths. This is what
+/// makes the k constrained MinTriang calls per RankedTriang output cheap:
+/// sibling Lawler–Murty partitions differ by O(1) separators, so each call
+/// repairs a handful of blocks instead of re-filling every table (the same
 /// amortization argument the paper uses against CKK for initialization,
 /// applied to the per-result optimizer calls).
 ///
@@ -52,7 +77,8 @@ namespace mintri {
 /// what the MinTriang wrapper does.)
 class MinTriangSolver {
  public:
-  MinTriangSolver(const TriangulationContext& ctx, const BagCost& cost);
+  MinTriangSolver(const TriangulationContext& ctx, const BagCost& cost,
+                  const SolverOptions& options = {});
 
   /// Minimum-κ[I,X] minimal triangulation of the context's graph, or
   /// std::nullopt when no finite-cost triangulation satisfies [I,X] (or the
@@ -61,6 +87,20 @@ class MinTriangSolver {
   /// first call is a full DP pass; later calls repair incrementally.
   std::optional<Triangulation> Solve(const std::vector<int>& include_ids,
                                      const std::vector<int>& exclude_ids);
+
+  /// Per-Solve wall-clock budget, polled inside the repair/full-pass
+  /// candidate loops (a pathological cascade must not blow a per-query
+  /// budget the surrounding enumerators honor). Nullptr (the default)
+  /// disables polling; the pointee must outlive the solver or the next
+  /// set_deadline call. When the deadline expires mid-solve the call
+  /// returns std::nullopt, truncated() turns true for that call, and the
+  /// half-repaired tables are discarded: the next Solve runs a full pass
+  /// (constraint bookkeeping stays exact, so correctness is unaffected).
+  void set_deadline(const Deadline* deadline) { deadline_ = deadline; }
+
+  /// True when the *last* Solve call gave up on an expired deadline (its
+  /// std::nullopt then means "out of time", not "infeasible").
+  bool truncated() const { return truncated_; }
 
   /// Candidate evaluations so far (constraint short-circuits included) —
   /// the repair's breadth measure (a full pass evaluates every candidate).
@@ -71,8 +111,16 @@ class MinTriangSolver {
   /// candidates short-circuit to ∞ before it).
   long long num_combine_calls() const { return num_combine_calls_; }
 
+  /// Segment-tree point updates (indexed path only; 0 under the list scan).
+  long long num_index_updates() const { return num_index_updates_; }
+
+  /// Range-min queries that re-picked a block optimum (indexed path only).
+  long long num_range_queries() const { return num_range_queries_; }
+
   /// Number of (block, Ω) candidates in the DP (root included).
   size_t num_candidates_total() const { return num_candidates_total_; }
+
+  const SolverOptions& options() const { return options_; }
 
  private:
   // Node ids: 0..B-1 are the context's blocks (ascending order), B is the
@@ -113,6 +161,21 @@ class MinTriangSolver {
                             const std::vector<int>& removed_exc,
                             const std::vector<int>& removed_inc, bool full);
 
+  // Stamps (node, k) dirty for this epoch (idempotent) and, on the indexed
+  // path, appends it to the node's pending re-evaluation list.
+  void MarkDirty(int node, int k);
+
+  // Deadline poll (rate-limited to one clock read per 64 ticks). Returns
+  // true — and latches truncated_ — once the budget is gone.
+  bool PollDeadline();
+
+  // The table-repair forward passes (root last): the historical list-scan
+  // pass and the segment-tree-indexed pass. Both leave identical
+  // value_/choice_ tables; they differ only in how dirty candidates are
+  // found and how each block's optimum is re-picked.
+  void RepairScan(bool full);
+  void RepairIndexed(bool full);
+
   // Evaluates candidate k of `node` under the current constraints (∞ when a
   // child is infeasible or [I,X] is violated at this bag).
   CostValue EvalCandidate(int node, size_t k);
@@ -123,20 +186,28 @@ class MinTriangSolver {
 
   const TriangulationContext& ctx_;
   const BagCost& cost_;
+  SolverOptions options_;
   VertexSet empty_separator_;
   VertexSet all_vertices_;
 
-  // Builds hosts_, deferred to the first incremental solve (a one-shot
-  // full pass never needs the reverse edges).
+  // Builds hosts_ / host_cands_, deferred to the first incremental solve (a
+  // one-shot full pass never needs the reverse edges).
   void BuildHosts();
 
   // DP tables, persisted across Solve calls.
   std::vector<std::vector<CostValue>> cand_values_;  // per node, per cand
   std::vector<CostValue> value_;
   std::vector<int> choice_;
+  // Per-node range-min tree over cand_values_ (indexed path; built by the
+  // first full pass, point-updated by repairs).
+  std::vector<RangeMinTree> cand_trees_;
   // hosts_[b]: nodes with a candidate having block b among its children —
-  // the reverse DP edges the repair cascades along.
+  // the reverse DP edges the scan-path repair cascades along.
   std::vector<std::vector<int>> hosts_;
+  // host_cands_[b]: the exact (host node, candidate k) pairs with block b
+  // among candidate k's children — the candidate-granular reverse edges the
+  // indexed repair dirties directly (no per-candidate child scan).
+  std::vector<std::vector<std::pair<int, int>>> host_cands_;
   bool hosts_built_ = false;
 
   // Current constraint state (sorted ids + materialized vertex sets).
@@ -157,10 +228,15 @@ class MinTriangSolver {
   // Epoch-stamped dirtiness (a stamp equal to epoch_ means "this solve").
   uint32_t epoch_ = 0;
   std::vector<std::vector<uint32_t>> cand_dirty_;  // per node, per cand
+  std::vector<std::vector<int>> dirty_list_;  // indexed path: pending evals
   std::vector<uint32_t> node_seeded_;    // some candidate became dirty
   std::vector<uint32_t> node_forced_;    // some candidate was forced to ∞
   std::vector<uint32_t> node_touched_;   // some child's value changed
   std::vector<uint32_t> value_changed_;  // this node's value changed
+
+  const Deadline* deadline_ = nullptr;
+  bool truncated_ = false;
+  uint32_t poll_tick_ = 0;
 
   // Reused scratch.
   std::vector<const VertexSet*> child_blocks_buf_;
@@ -168,6 +244,8 @@ class MinTriangSolver {
 
   long long num_candidate_evals_ = 0;
   long long num_combine_calls_ = 0;
+  long long num_index_updates_ = 0;
+  long long num_range_queries_ = 0;
   size_t num_candidates_total_ = 0;
 };
 

@@ -80,8 +80,54 @@ TEST(CliTest, ErrorsAreReported) {
   EXPECT_EQ(Invoke({"--top=1O"}, kC4).code, 1);
   EXPECT_EQ(Invoke({"--bound="}, kC4).code, 1);
   EXPECT_EQ(Invoke({"--time-limit=3O"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--solver=bogus"}, kC4).code, 1);
   EXPECT_EQ(Invoke({}, "not a graph").code, 1);
   EXPECT_EQ(Invoke({"nonexistent_file.gr"}, "").code, 1);
+}
+
+TEST(CliTest, NumericFlagOverflowIsRejected) {
+  // strtoll saturates to LLONG_MAX on overflow without an errno check —
+  // these used to parse "successfully". Worse, --bound=2^32+1 silently
+  // truncated to bound=1 through the long long → int narrowing.
+  EXPECT_EQ(Invoke({"--top=99999999999999999999"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--bound=4294967297"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--bound=99999999999999999999"}, kC4).code, 1);
+  EXPECT_EQ(Invoke({"--time-limit=1e999"}, kC4).code, 1);
+  CliResult bad = Invoke({"--top=99999999999999999999"}, kC4);
+  EXPECT_NE(bad.err.find("invalid value for --top"), std::string::npos)
+      << bad.err;
+}
+
+TEST(CliTest, SolverFlagSelectsRepairEngineWithIdenticalOutput) {
+  CliResult indexed = Invoke({"--cost=fill", "--top=10", "--solver=indexed"},
+                             kC4);
+  CliResult scan = Invoke({"--cost=fill", "--top=10", "--solver=scan"}, kC4);
+  CliResult implicit = Invoke({"--cost=fill", "--top=10"}, kC4);
+  EXPECT_EQ(indexed.code, 0) << indexed.err;
+  EXPECT_EQ(scan.code, 0) << scan.err;
+  // Both engines print byte-identical streams; the default is the index.
+  EXPECT_EQ(indexed.out, scan.out);
+  EXPECT_EQ(indexed.out, implicit.out);
+
+  // --stats names the engine and its counters; the scan path reports zero
+  // index activity.
+  CliResult istats =
+      Invoke({"--cost=fill", "--top=10", "--solver=indexed", "--stats"}, kC4);
+  EXPECT_EQ(istats.code, 0) << istats.err;
+  EXPECT_NE(istats.err.find("solver[indexed]: optimizer_calls="),
+            std::string::npos)
+      << istats.err;
+  EXPECT_EQ(istats.err.find("index_updates=0 range_queries=0"),
+            std::string::npos)
+      << istats.err;
+  CliResult sstats =
+      Invoke({"--cost=fill", "--top=10", "--solver=scan", "--stats"}, kC4);
+  EXPECT_EQ(sstats.code, 0) << sstats.err;
+  EXPECT_NE(sstats.err.find("solver[scan]:"), std::string::npos)
+      << sstats.err;
+  EXPECT_NE(sstats.err.find("index_updates=0 range_queries=0"),
+            std::string::npos)
+      << sstats.err;
 }
 
 TEST(CliTest, ThreadsFlagValidation) {
@@ -220,6 +266,17 @@ TEST(CliTest, BatchCommand) {
   EXPECT_EQ(Invoke({"batch", "x.txt", "--time-limit=-1"}, "").code, 1);
   EXPECT_EQ(Invoke({"batch", "x.txt", "--time-limit=0"}, "").code, 1);
   EXPECT_EQ(Invoke({"batch", "x.txt", "--bogus"}, "").code, 1);
+  // The batch parser is the same strict one as rank/bench: overflow and
+  // trailing garbage are rejected, not silently accepted (the old
+  // istringstream parser and cli.cc's unchecked strtoll disagreed on both).
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--top=99999999999999999999"}, "").code,
+            1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--threads=8abc"}, "").code, 1);
+  EXPECT_EQ(
+      Invoke({"batch", "x.txt", "--inner-threads=99999999999999999999"}, "")
+          .code,
+      1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--time-limit=1e999"}, "").code, 1);
 }
 
 TEST(CliTest, BenchSmokeEmitsSchemaShapedJson) {
@@ -229,12 +286,35 @@ TEST(CliTest, BenchSmokeEmitsSchemaShapedJson) {
                        "");
   EXPECT_EQ(r.code, 0) << r.err;
   for (const char* key :
-       {"\"schema_version\": 1", "\"git_sha\"", "\"time_scale\"",
+       {"\"schema_version\": 2", "\"git_sha\"", "\"time_scale\"",
         "\"smoke\": true", "\"suites\": [\"minseps\"]", "\"entries\"",
         "\"results_per_sec\"", "\"wall_ms\"", "\"status\"",
-        "\"threads\": 1"}) {
+        "\"threads\": 1", "\"solver\"", "\"candidate_evals\"",
+        "\"index_updates\"", "\"range_queries\""}) {
     EXPECT_NE(r.out.find(key), std::string::npos) << "missing " << key;
   }
+}
+
+TEST(CliTest, BenchRankedSweepsBothSolverPaths) {
+  EXPECT_EQ(Invoke({"bench", "--solver=bogus"}, "").code, 1);
+
+  // The default ranked sweep emits one entry per repair engine at each
+  // point — the report carries its own interleaved before/after comparison.
+  CliResult r = Invoke(
+      {"bench", "ranked", "--smoke", "--quiet", "--threads=1", "--out=-"},
+      "");
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"solver\": \"indexed\""), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("\"solver\": \"scan\""), std::string::npos) << r.out;
+
+  // Pinning one engine drops the other from the report.
+  CliResult pinned = Invoke({"bench", "ranked", "--smoke", "--quiet",
+                             "--threads=1", "--solver=scan", "--out=-"},
+                            "");
+  EXPECT_EQ(pinned.code, 0) << pinned.err;
+  EXPECT_NE(pinned.out.find("\"solver\": \"scan\""), std::string::npos);
+  EXPECT_EQ(pinned.out.find("\"solver\": \"indexed\""), std::string::npos);
 }
 
 }  // namespace

@@ -70,46 +70,51 @@ void ExpectIdentical(const std::optional<Triangulation>& incremental,
   EXPECT_TRUE(incremental->filled == full->filled) << where;
 }
 
-// Random walk over constraint sets: each step nudges [I, X] by a few
-// separators (the Lawler–Murty access pattern, plus removals and larger
-// jumps the enumerator never makes), solves incrementally, and cross-checks
-// against the full DP.
-void DifferentialWalk(const TriangulationContext& ctx, const BagCost& cost,
-                      const std::string& name, uint64_t seed, int steps) {
-  MinTriangSolver solver(ctx, cost);
-  Rng rng(seed);
-  const int num_seps = static_cast<int>(ctx.minimal_separators().size());
-  std::vector<int> include, exclude;
+// One walk step: nudges [I, X] by a few separators (the Lawler–Murty access
+// pattern, plus removals and larger jumps the enumerator never makes).
+void MutateConstraints(Rng& rng, int num_seps, std::vector<int>* include,
+                       std::vector<int>* exclude) {
   auto contains = [](const std::vector<int>& v, int id) {
     return std::binary_search(v.begin(), v.end(), id);
   };
   auto insert = [](std::vector<int>* v, int id) {
     v->insert(std::upper_bound(v->begin(), v->end(), id), id);
   };
-  for (int step = 0; step < steps; ++step) {
-    const int ops = rng.NextInt(1, 3);
-    for (int op = 0; op < ops && num_seps > 0; ++op) {
-      const int id = rng.NextInt(0, num_seps - 1);
-      switch (rng.NextInt(0, 2)) {
-        case 0:
-          if (!contains(include, id) && !contains(exclude, id)) {
-            insert(&include, id);
-          }
-          break;
-        case 1:
-          if (!contains(include, id) && !contains(exclude, id)) {
-            insert(&exclude, id);
-          }
-          break;
-        default: {
-          std::vector<int>& v = rng.NextBool(0.5) ? include : exclude;
-          if (!v.empty()) {
-            v.erase(v.begin() + rng.NextInt(0, static_cast<int>(v.size()) - 1));
-          }
-          break;
+  const int ops = rng.NextInt(1, 3);
+  for (int op = 0; op < ops && num_seps > 0; ++op) {
+    const int id = rng.NextInt(0, num_seps - 1);
+    switch (rng.NextInt(0, 2)) {
+      case 0:
+        if (!contains(*include, id) && !contains(*exclude, id)) {
+          insert(include, id);
         }
+        break;
+      case 1:
+        if (!contains(*include, id) && !contains(*exclude, id)) {
+          insert(exclude, id);
+        }
+        break;
+      default: {
+        std::vector<int>& v = rng.NextBool(0.5) ? *include : *exclude;
+        if (!v.empty()) {
+          v.erase(v.begin() + rng.NextInt(0, static_cast<int>(v.size()) - 1));
+        }
+        break;
       }
     }
+  }
+}
+
+// Random walk over constraint sets: solves incrementally and cross-checks
+// against the full DP at every step.
+void DifferentialWalk(const TriangulationContext& ctx, const BagCost& cost,
+                      const std::string& name, uint64_t seed, int steps) {
+  MinTriangSolver solver(ctx, cost);
+  Rng rng(seed);
+  const int num_seps = static_cast<int>(ctx.minimal_separators().size());
+  std::vector<int> include, exclude;
+  for (int step = 0; step < steps; ++step) {
+    MutateConstraints(rng, num_seps, &include, &exclude);
     std::vector<VertexSet> include_sets, exclude_sets;
     for (int id : include) {
       include_sets.push_back(ctx.minimal_separators()[id]);
@@ -239,6 +244,120 @@ TEST(MinTriangSolverTest, SiblingExpansionIsCheaperThanOneFullPass) {
   EXPECT_LT(expansion, full_pass)
       << h_seps.size() << " sibling repairs cost " << expansion
       << " Combine calls vs " << full_pass << " for one full pass";
+}
+
+// Lockstep walk of the two repair engines: at every delta step the
+// segment-tree-indexed solver and the list-scan baseline must return
+// byte-identical triangulations, and the index must never evaluate more
+// candidates than the scan (it may only skip work, never add it).
+void LockstepWalk(const TriangulationContext& ctx, const BagCost& cost,
+                  const std::string& name, uint64_t seed, int steps) {
+  SolverOptions scan_options;
+  scan_options.use_candidate_index = false;
+  MinTriangSolver indexed(ctx, cost);
+  MinTriangSolver scan(ctx, cost, scan_options);
+  Rng rng(seed);
+  const int num_seps = static_cast<int>(ctx.minimal_separators().size());
+  std::vector<int> include, exclude;
+  for (int step = 0; step < steps; ++step) {
+    MutateConstraints(rng, num_seps, &include, &exclude);
+    const std::string where = name + " step " + std::to_string(step);
+    ExpectIdentical(indexed.Solve(include, exclude),
+                    scan.Solve(include, exclude), where);
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_LE(indexed.num_candidate_evals(), scan.num_candidate_evals())
+        << where;
+    EXPECT_EQ(scan.num_index_updates(), 0) << where;
+    EXPECT_EQ(scan.num_range_queries(), 0) << where;
+  }
+  EXPECT_GT(indexed.num_range_queries(), 0) << name;
+}
+
+TEST(MinTriangSolverTest, IndexedAndScanPathsAreLockstepIdentical) {
+  ASSERT_FALSE(Corpus().empty());
+  WidthCost width;
+  FillInCost fill;
+  for (const CorpusGraph& cg : Corpus()) {
+    LockstepWalk(cg.ctx, width, cg.name + "/width", 0xcafe + 1, 12);
+    LockstepWalk(cg.ctx, fill, cg.name + "/fill", 0xcafe + 2, 12);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(MinTriangSolverTest, IndexedAndScanLockstepOnBoundedWidthContexts) {
+  WidthCost width;
+  for (int seed = 0; seed < 4; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(12, 0.25, 43000 + seed);
+    for (int bound = 2; bound <= 4; ++bound) {
+      ContextOptions options;
+      options.width_bound = bound;
+      auto ctx = TriangulationContext::Build(g, options);
+      ASSERT_TRUE(ctx.has_value());
+      if (ctx->minimal_separators().empty()) continue;
+      LockstepWalk(*ctx, width,
+                   "bounded seed " + std::to_string(seed) + " b=" +
+                       std::to_string(bound),
+                   0xbead + seed, 8);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(MinTriangSolverTest, ExpiredDeadlineTruncatesAndRecovers) {
+  Graph g = workloads::Grid(4, 4);
+  auto ctx = TriangulationContext::Build(g);
+  ASSERT_TRUE(ctx.has_value());
+  WidthCost width;
+  MinTriangSolver solver(*ctx, width);
+  const Deadline expired(0.0);
+  solver.set_deadline(&expired);
+  EXPECT_FALSE(solver.Solve({}, {}).has_value());
+  EXPECT_TRUE(solver.truncated());
+  // Lifting the deadline must fully recover: the truncated call committed
+  // no state, so the next solve is a clean full pass.
+  solver.set_deadline(nullptr);
+  auto recovered = solver.Solve({}, {});
+  EXPECT_FALSE(solver.truncated());
+  MinTriangSolver fresh(*ctx, width);
+  ExpectIdentical(recovered, fresh.Solve({}, {}), "recovered vs fresh");
+}
+
+TEST(MinTriangSolverTest, TruncatedRepairDoesNotCorruptLaterSolves) {
+  // Expire the deadline between incremental repairs: the interrupted delta
+  // must leave the blocked counters and tables consistent, so every answer
+  // after the deadline lifts still matches the from-scratch DP.
+  Graph g = workloads::Grid(3, 4);
+  auto ctx = TriangulationContext::Build(g);
+  ASSERT_TRUE(ctx.has_value());
+  ASSERT_GE(ctx->minimal_separators().size(), 2u);
+  FillInCost fill;
+  MinTriangSolver solver(*ctx, fill);
+  ASSERT_TRUE(solver.Solve({}, {}).has_value());
+
+  const Deadline expired(0.0);
+  solver.set_deadline(&expired);
+  EXPECT_FALSE(solver.Solve({0}, {}).has_value());
+  EXPECT_TRUE(solver.truncated());
+  solver.set_deadline(nullptr);
+
+  auto check = [&](const std::vector<int>& include,
+                   const std::vector<int>& exclude, const std::string& where) {
+    std::vector<VertexSet> include_sets, exclude_sets;
+    for (int id : include) {
+      include_sets.push_back(ctx->minimal_separators()[id]);
+    }
+    for (int id : exclude) {
+      exclude_sets.push_back(ctx->minimal_separators()[id]);
+    }
+    ConstrainedCost constrained(fill, std::move(include_sets),
+                                std::move(exclude_sets));
+    ExpectIdentical(solver.Solve(include, exclude),
+                    MinTriang(*ctx, constrained), where);
+  };
+  check({0}, {}, "the interrupted delta, retried");
+  EXPECT_FALSE(solver.truncated());
+  check({0}, {1}, "a further incremental step");
+  check({}, {}, "back to unconstrained");
 }
 
 }  // namespace

@@ -1,0 +1,86 @@
+// RangeMinTree is the data structure under the solver's candidate index; its
+// contract is not just "a minimum" but the *first* minimum — the same leaf a
+// left-to-right "first strict improvement wins" scan picks. These tests pin
+// that tie-break against a naive scan under randomized builds, point
+// updates (including ∞ kills and revivals), and sub-range queries.
+
+#include "util/range_min_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mintri {
+namespace {
+
+// The reference semantics: leftmost index of the minimum value.
+int NaiveMinIndex(const std::vector<CostValue>& values, int begin, int end) {
+  int best = -1;
+  for (int i = begin; i < end; ++i) {
+    if (best < 0 || values[i] < values[best]) best = i;
+  }
+  return best;
+}
+
+TEST(RangeMinTreeTest, EmptyTreeReportsNoMin) {
+  RangeMinTree tree;
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.MinIndex(), -1);
+}
+
+TEST(RangeMinTreeTest, TiesResolveToLowestIndex) {
+  RangeMinTree tree(std::vector<CostValue>{3, 1, 2, 1, 1});
+  EXPECT_EQ(tree.MinIndex(), 1);
+  EXPECT_EQ(tree.MinIndex(2, 5), 3);
+  // Updating a later leaf to the same minimum must not steal the win.
+  tree.Update(4, 1);
+  EXPECT_EQ(tree.MinIndex(), 1);
+  // Killing the leader hands the min to the next-lowest tied index.
+  tree.Update(1, kInfiniteCost);
+  EXPECT_EQ(tree.MinIndex(), 3);
+}
+
+TEST(RangeMinTreeTest, AllInfiniteStillReportsLeafZero) {
+  // The solver treats an infinite minimum as "no feasible candidate"; the
+  // padding leaves (also ∞) must never win over a real leaf.
+  RangeMinTree tree(std::vector<CostValue>(5, kInfiniteCost));
+  EXPECT_EQ(tree.MinIndex(), 0);
+  EXPECT_EQ(tree.MinIndex(3, 5), 3);
+}
+
+TEST(RangeMinTreeTest, RandomizedAgainstNaiveScan) {
+  Rng rng(0x7ee5);
+  for (int round = 0; round < 60; ++round) {
+    const int n = rng.NextInt(1, 33);  // crosses power-of-two boundaries
+    std::vector<CostValue> values(n);
+    for (CostValue& v : values) {
+      // Small integer range forces plenty of ties; occasional ∞ models
+      // blocked candidates.
+      v = rng.NextBool(0.15) ? kInfiniteCost
+                             : static_cast<CostValue>(rng.NextInt(0, 6));
+    }
+    RangeMinTree tree(values);
+    ASSERT_EQ(tree.size(), n);
+    for (int step = 0; step < 40; ++step) {
+      const int k = rng.NextInt(0, n - 1);
+      const CostValue v = rng.NextBool(0.25)
+                              ? kInfiniteCost
+                              : static_cast<CostValue>(rng.NextInt(0, 6));
+      tree.Update(k, v);
+      values[k] = v;
+      ASSERT_EQ(tree.ValueAt(k), v);
+      ASSERT_EQ(tree.MinIndex(), NaiveMinIndex(values, 0, n))
+          << "round " << round << " step " << step;
+      const int begin = rng.NextInt(0, n - 1);
+      const int end = rng.NextInt(begin + 1, n);
+      ASSERT_EQ(tree.MinIndex(begin, end), NaiveMinIndex(values, begin, end))
+          << "round " << round << " step " << step << " range [" << begin
+          << ", " << end << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mintri

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <vector>
 
 #include "chordal/minimality.h"
@@ -225,6 +226,89 @@ TEST(RankedEnumTest, OptimizerCallCountGrowsLinearly) {
     bound += static_cast<long long>(t.separators.size());
   }
   EXPECT_LE(e.num_optimizer_calls(), bound);
+}
+
+void ExpectSameStream(const std::vector<Triangulation>& a,
+                      const std::vector<Triangulation>& b,
+                      const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const std::string at = where + " result " + std::to_string(i);
+    EXPECT_EQ(a[i].cost, b[i].cost) << at;
+    EXPECT_EQ(a[i].bags, b[i].bags) << at;
+    EXPECT_EQ(a[i].parent, b[i].parent) << at;
+    EXPECT_EQ(a[i].separators, b[i].separators) << at;
+    EXPECT_TRUE(a[i].filled == b[i].filled) << at;
+  }
+}
+
+TEST(RankedEnumTest, IndexedAndScanStreamsAreByteIdentical) {
+  // The tentpole invariant: the segment-tree candidate index changes how
+  // block optima are re-found, never which ones — the full ranked stream
+  // must match the list-scan baseline result for result, and neither engine
+  // may depend on how many threads built the context.
+  SolverOptions scan_options;
+  scan_options.use_candidate_index = false;
+  std::vector<Graph> graphs = {workloads::Grid(3, 3), workloads::Cycle(6)};
+  for (int seed = 0; seed < 3; ++seed) {
+    graphs.push_back(workloads::ConnectedErdosRenyi(10, 0.3, 31000 + seed));
+  }
+  WidthCost width;
+  FillInCost fill;
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    for (int which_cost = 0; which_cost < 2; ++which_cost) {
+      const BagCost& cost =
+          which_cost == 0 ? static_cast<const BagCost&>(width)
+                          : static_cast<const BagCost&>(fill);
+      std::vector<Triangulation> reference;
+      for (int threads : {1, 2}) {
+        const std::string where = "graph " + std::to_string(gi) + " cost " +
+                                  std::to_string(which_cost) + " t=" +
+                                  std::to_string(threads);
+        ContextOptions options;
+        options.num_threads = threads;
+        auto ctx = TriangulationContext::Build(graphs[gi], options);
+        ASSERT_TRUE(ctx.has_value()) << where;
+        RankedTriangulationEnumerator indexed(*ctx, cost);
+        RankedTriangulationEnumerator scan(*ctx, cost, scan_options);
+        auto a = Drain(indexed, 200);
+        auto b = Drain(scan, 200);
+        ExpectSameStream(a, b, where + " indexed vs scan");
+        if (::testing::Test::HasFatalFailure()) return;
+        // The index may only skip candidate work, never add it.
+        EXPECT_LE(indexed.num_candidate_evals(), scan.num_candidate_evals())
+            << where;
+        EXPECT_EQ(scan.num_index_updates(), 0) << where;
+        if (reference.empty()) {
+          reference = std::move(a);
+        } else {
+          ExpectSameStream(a, reference, where + " vs serial-context stream");
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(RankedEnumTest, ExpiredDeadlineEndsTheStreamTruthfully) {
+  Graph g = workloads::Grid(3, 3);
+  TriangulationContext ctx = BuildCtx(g);
+  WidthCost width;
+  RankedTriangulationEnumerator full(ctx, width);
+  const size_t total = Drain(full).size();
+  ASSERT_GT(total, 1u);
+
+  RankedTriangulationEnumerator e(ctx, width);
+  const Deadline expired(0.0);
+  e.SetDeadline(&expired);
+  // The already-queued first result is still handed out, but the expansion
+  // it would have spawned is cut short — the stream ends, flagged as
+  // truncated rather than pretending exhaustion.
+  auto first = e.Next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(e.truncated());
+  EXPECT_FALSE(e.Next().has_value());
+  EXPECT_TRUE(e.truncated());
 }
 
 }  // namespace
