@@ -1,14 +1,25 @@
 #!/usr/bin/env python3
 """Schema validation for BENCH_core.json (the bench_runner report).
 
-Usage: validate_bench_json.py [--smoke] BENCH_core.json
+Usage:
+  validate_bench_json.py [--smoke] [--compare=BASELINE.json] BENCH_core.json
+  validate_bench_json.py --batch-stats STATS.json
 
 Checks the shape produced by src/bench/bench_suites.cc:WriteBenchJson so the
 CI bench-smoke job fails loudly when the schema drifts instead of uploading
 a silently broken artifact. Exits 0 on success, 1 with a message otherwise.
+
+--compare=BASELINE.json is a smoke hook for the bench-diff CI gate: it
+matches the report against a baseline using the exact entry identity that
+scripts/bench_diff.py diffs with (imported from there, so the two tools
+cannot drift apart) and fails when the overlap is empty.
+
+--batch-stats switches to validating the aggregate-stats JSON written by
+`mintri batch --stats-json=...` (src/cli/batch_shard.cc:WriteBatchStatsJson).
 """
 
 import json
+import os
 import sys
 
 TOP_LEVEL = {
@@ -72,17 +83,126 @@ def check_fields(obj, spec, where):
                  f"expected {expected.__name__}")
 
 
+# The aggregate shape written by `mintri batch --stats-json=...`; one
+# worker_stats element per shard ("in-process" pseudo-worker at --workers=1).
+BATCH_STATS = {
+    "batch_stats_version": int,
+    "workers": int,
+    "threads": int,
+    "inner_threads": int,
+    "cost": str,
+    "instances": int,
+    "ok": int,
+    "failed": int,
+    "wall_seconds": float,
+    "init_seconds_total": float,
+    "cache_lookups": int,
+    "cache_hits": int,
+    "cache_misses": int,
+    "cache_hit_rate": float,
+    "worker_stats": list,
+}
+
+WORKER_STATS = {
+    "worker": int,
+    "first": int,
+    "count": int,
+    "ok": int,
+    "failed": int,
+    "wall_seconds": float,
+    "termination": str,
+}
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+
+def validate_batch_stats(path):
+    stats = load_json(path)
+    check_fields(stats, BATCH_STATS, "batch stats")
+    if stats["batch_stats_version"] != 1:
+        fail(f"unsupported batch_stats_version "
+             f"{stats['batch_stats_version']}")
+    for key in ("workers", "threads", "inner_threads"):
+        if stats[key] < 1:
+            fail(f"{key} must be >= 1, got {stats[key]}")
+    if stats["instances"] != stats["ok"] + stats["failed"]:
+        fail(f"instances {stats['instances']} != ok {stats['ok']} + "
+             f"failed {stats['failed']}")
+    if stats["wall_seconds"] < 0 or stats["init_seconds_total"] < 0:
+        fail("negative timing")
+    if stats["cache_lookups"] != stats["cache_hits"] + stats["cache_misses"]:
+        fail(f"cache_lookups {stats['cache_lookups']} != hits + misses")
+    if not 0 <= stats["cache_hit_rate"] <= 1:
+        fail(f"cache_hit_rate {stats['cache_hit_rate']} outside [0, 1]")
+
+    workers = stats["worker_stats"]
+    if len(workers) != stats["workers"]:
+        fail(f"worker_stats has {len(workers)} elements, "
+             f"expected {stats['workers']}")
+    next_first = 0
+    for i, w in enumerate(workers):
+        where = f"worker_stats[{i}]"
+        check_fields(w, WORKER_STATS, where)
+        if w["first"] != next_first:
+            fail(f"{where}: shard starts at {w['first']}, "
+                 f"expected {next_first} (non-contiguous partition)")
+        if w["count"] < 0 or w["ok"] + w["failed"] != w["count"]:
+            fail(f"{where}: ok {w['ok']} + failed {w['failed']} != "
+                 f"count {w['count']}")
+        if w["wall_seconds"] < 0:
+            fail(f"{where}: negative wall_seconds")
+        if not w["termination"]:
+            fail(f"{where}: empty termination")
+        next_first += w["count"]
+    if next_first != stats["instances"]:
+        fail(f"shards cover [0, {next_first}), "
+         f"expected [0, {stats['instances']})")
+    print(f"validate_bench_json: OK: batch stats for {stats['instances']} "
+          f"instances across {stats['workers']} worker(s), "
+          f"{stats['ok']} ok / {stats['failed']} failed")
+
+
+def compare_smoke(report, baseline_path):
+    """Overlap sanity against a baseline, via bench_diff's entry identity."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import bench_diff
+    try:
+        baseline = bench_diff.load_report(baseline_path)
+    except bench_diff.BenchDiffError as e:
+        fail(str(e))
+    base_index = bench_diff.index_entries(baseline["entries"])
+    new_index = bench_diff.index_entries(report["entries"])
+    matched = len(set(base_index) & set(new_index))
+    if matched == 0:
+        fail(f"no overlap with baseline {baseline_path} "
+             f"(wrong artifact pair?)")
+    print(f"validate_bench_json: compare: {matched} entries match baseline, "
+          f"{len(base_index) - matched} only in baseline, "
+          f"{len(new_index) - matched} only in this report")
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     smoke = "--smoke" in sys.argv[1:]
+    batch_stats = "--batch-stats" in sys.argv[1:]
+    compare_baseline = None
+    for a in sys.argv[1:]:
+        if a.startswith("--compare="):
+            compare_baseline = a[len("--compare="):]
     if len(args) != 1:
-        fail("usage: validate_bench_json.py [--smoke] BENCH_core.json")
+        fail("usage: validate_bench_json.py [--smoke] [--compare=BASELINE] "
+             "BENCH_core.json | --batch-stats STATS.json")
+    if batch_stats:
+        validate_batch_stats(args[0])
+        return
 
-    try:
-        with open(args[0]) as f:
-            report = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        fail(f"cannot parse {args[0]}: {e}")
+    report = load_json(args[0])
 
     check_fields(report, TOP_LEVEL, "top level")
     if report["schema_version"] != 2:
@@ -156,6 +276,9 @@ def main():
     print(f"validate_bench_json: OK: {len(entries)} entries "
           f"({', '.join(f'{s}: {c}' for s, c in sorted(per_suite.items()))}), "
           f"git {report['git_sha']}")
+
+    if compare_baseline is not None:
+        compare_smoke(report, compare_baseline)
 
 
 if __name__ == "__main__":

@@ -2,17 +2,22 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <thread>
 
+#include "cli/batch_shard.h"
 #include "cli/flags.h"
 #include "cost/cost_model_registry.h"
 #include "enumeration/ranked_forest.h"
 #include "parallel/thread_pool.h"
 #include "util/json_util.h"
+#include "util/timer.h"
 
 namespace mintri {
 
@@ -94,6 +99,91 @@ BatchRecord RunOneInstance(const std::string& spec,
   return record;
 }
 
+// Fault-injection hook for the sharded-batch failure-path tests: the
+// MINTRI_BATCH_FAULT environment variable ("crash:<spec>" or "hang:<spec>")
+// makes the worker that owns <spec> die mid-record (an unterminated
+// JSON line, then _Exit) or emit the record and hang until the
+// coordinator's --deadline kills it. Inert unless the variable is set.
+struct FaultSpec {
+  bool crash = false;  // otherwise hang
+  std::string instance;
+};
+
+std::optional<FaultSpec> ParseFaultSpec() {
+  const char* raw = std::getenv("MINTRI_BATCH_FAULT");
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  const std::string value(raw);
+  FaultSpec fault;
+  if (value.rfind("crash:", 0) == 0) {
+    fault.crash = true;
+    fault.instance = value.substr(6);
+  } else if (value.rfind("hang:", 0) == 0) {
+    fault.crash = false;
+    fault.instance = value.substr(5);
+  } else {
+    return std::nullopt;
+  }
+  return fault;
+}
+
+// Writes records as JSON Lines, honoring the fault hook. Returns the
+// per-instance (status, error) pairs for the shared failure summary.
+std::vector<std::pair<std::string, std::string>> WriteRecordsWithFaults(
+    const std::vector<BatchRecord>& records, std::ostream& sink) {
+  const std::optional<FaultSpec> fault = ParseFaultSpec();
+  std::vector<std::pair<std::string, std::string>> statuses;
+  for (const BatchRecord& r : records) {
+    std::ostringstream os;
+    WriteBatchRecord(r, os);
+    const std::string line = os.str();
+    if (fault.has_value() && fault->crash && r.instance == fault->instance) {
+      sink.write(line.data(), static_cast<std::streamsize>(line.size() / 2));
+      sink.flush();
+      std::_Exit(70);
+    }
+    sink << line;
+    if (fault.has_value() && !fault->crash && r.instance == fault->instance) {
+      sink.flush();
+      std::this_thread::sleep_for(std::chrono::hours(1));
+    }
+    statuses.emplace_back(r.status, r.error);
+  }
+  return statuses;
+}
+
+BatchAggregateStats AggregateInProcessStats(
+    const std::vector<BatchRecord>& records, const BatchOptions& options,
+    double wall_seconds) {
+  BatchAggregateStats stats;
+  stats.workers = 1;
+  stats.threads = options.threads;
+  stats.inner_threads = options.inner_threads;
+  stats.cost = options.cost;
+  stats.instances = static_cast<int>(records.size());
+  stats.wall_seconds = wall_seconds;
+  WorkerShardStats ws;
+  ws.worker = 0;
+  ws.first = 0;
+  ws.count = static_cast<int>(records.size());
+  ws.wall_seconds = wall_seconds;
+  ws.termination = "in-process";
+  for (const BatchRecord& r : records) {
+    if (r.status == "ok") {
+      ++stats.ok;
+      ++ws.ok;
+      stats.init_seconds_total += r.init_seconds;
+    } else {
+      ++stats.failed;
+      ++ws.failed;
+    }
+    stats.cache_lookups += r.cache_lookups;
+    stats.cache_hits += r.cache_hits;
+    stats.cache_misses += r.cache_misses;
+  }
+  stats.worker_stats.push_back(std::move(ws));
+  return stats;
+}
+
 constexpr char kBatchUsage[] =
     "usage: mintri batch <file-of-instances> [options]\n"
     "\n"
@@ -103,15 +193,31 @@ constexpr char kBatchUsage[] =
     "tpch-graph:<q> (join graph), gm:<name> (graphical model). Instances\n"
     "fan out across a thread pool — parallel across queries — and one JSON\n"
     "record per instance is emitted in input order, identical at every\n"
-    "--threads value.\n"
+    "--threads value. --workers=N additionally shards the list across N\n"
+    "child processes (contiguous ranges, deterministic in-order merge: the\n"
+    "output stream is byte-identical to --workers=1); a worker that\n"
+    "crashes or exceeds --deadline yields per-instance error records\n"
+    "instead of hanging the run.\n"
     "\n"
     "  --cost=NAME        width|fill|width-then-fill|state-space|\n"
     "                     hypertree|fhw              (default width)\n"
     "  --top=K            ranked results per instance (default 3)\n"
     "  --threads=N        instances processed concurrently (default 1)\n"
     "  --inner-threads=N  context-build threads per instance (default 1)\n"
+    "  --workers=N        shard across N child processes (default 1 =\n"
+    "                     in-process)\n"
+    "  --deadline=SEC     per-shard wall budget; a straggling worker is\n"
+    "                     killed and its unfinished instances reported as\n"
+    "                     worker-timeout records (default: none)\n"
     "  --time-limit=SEC   per-stage initialization budget (default 30)\n"
     "  --no-cache         disable the memoized bag-score cache\n"
+    "  --stats            per-worker + aggregate summary on stderr\n"
+    "  --stats-json=FILE  machine-readable aggregate stats (validated by\n"
+    "                     scripts/validate_bench_json.py --batch-stats)\n"
+    "  --worker-binary=P  mintri binary to spawn as workers (default:\n"
+    "                     this executable)\n"
+    "  --mask-timings     zero init_seconds in records, for byte-exact\n"
+    "                     output comparison (testing hook)\n"
     "  --out=FILE         output path (default '-' for stdout)\n"
     "  --help             show this message and exit\n";
 
@@ -130,38 +236,43 @@ std::vector<BatchRecord> RunBatch(const std::vector<std::string>& specs,
       records[i] = RunOneInstance(specs[i], options);
     }
   });
+  if (options.mask_timings) {
+    for (BatchRecord& r : records) r.init_seconds = 0;
+  }
   return records;
+}
+
+void WriteBatchRecord(const BatchRecord& r, std::ostream& out) {
+  out << "{\"instance\": ";
+  AppendJsonString(r.instance, out);
+  out << ", \"cost\": ";
+  AppendJsonString(r.cost_name, out);
+  out << ", \"status\": ";
+  AppendJsonString(r.status, out);
+  out << ", \"n\": " << r.n << ", \"m\": " << r.m << ", \"init_seconds\": ";
+  AppendJsonCost(r.init_seconds, out);
+  out << ", \"cache_lookups\": " << r.cache_lookups
+      << ", \"cache_hits\": " << r.cache_hits
+      << ", \"cache_misses\": " << r.cache_misses;
+  if (!r.error.empty()) {
+    out << ", \"error\": ";
+    AppendJsonString(r.error, out);
+  }
+  out << ", \"results\": [";
+  for (size_t i = 0; i < r.results.size(); ++i) {
+    const BatchRecord::Row& row = r.results[i];
+    if (i > 0) out << ", ";
+    out << "{\"rank\": " << row.rank << ", \"cost\": ";
+    AppendJsonCost(row.cost, out);
+    out << ", \"width\": " << row.width << ", \"fill\": " << row.fill
+        << ", \"bags\": " << row.bags << "}";
+  }
+  out << "]}\n";
 }
 
 void WriteBatchJson(const std::vector<BatchRecord>& records,
                     std::ostream& out) {
-  for (const BatchRecord& r : records) {
-    out << "{\"instance\": ";
-    AppendJsonString(r.instance, out);
-    out << ", \"cost\": ";
-    AppendJsonString(r.cost_name, out);
-    out << ", \"status\": ";
-    AppendJsonString(r.status, out);
-    out << ", \"n\": " << r.n << ", \"m\": " << r.m << ", \"init_seconds\": ";
-    AppendJsonCost(r.init_seconds, out);
-    out << ", \"cache_lookups\": " << r.cache_lookups
-        << ", \"cache_hits\": " << r.cache_hits
-        << ", \"cache_misses\": " << r.cache_misses;
-    if (!r.error.empty()) {
-      out << ", \"error\": ";
-      AppendJsonString(r.error, out);
-    }
-    out << ", \"results\": [";
-    for (size_t i = 0; i < r.results.size(); ++i) {
-      const BatchRecord::Row& row = r.results[i];
-      if (i > 0) out << ", ";
-      out << "{\"rank\": " << row.rank << ", \"cost\": ";
-      AppendJsonCost(row.cost, out);
-      out << ", \"width\": " << row.width << ", \"fill\": " << row.fill
-          << ", \"bags\": " << row.bags << "}";
-    }
-    out << "]}\n";
-  }
+  for (const BatchRecord& r : records) WriteBatchRecord(r, out);
 }
 
 int RunBatchCommand(const std::vector<std::string>& args, std::ostream& out,
@@ -196,6 +307,22 @@ int RunBatchCommand(const std::vector<std::string>& args, std::ostream& out,
             << ")\n";
         return 1;
       }
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      // Worker processes obey the same 1..MaxThreads() ceiling as threads:
+      // each worker is at least one OS thread on this box.
+      if (!flags::ParseThreads(arg.substr(10), &options.workers)) {
+        err << "invalid value for --workers: " << arg.substr(10)
+            << " (expected an integer in 1.." << flags::MaxThreads()
+            << ")\n";
+        return 1;
+      }
+    } else if (arg.rfind("--deadline=", 0) == 0) {
+      if (!flags::ParseNumber(arg.substr(11), &options.deadline) ||
+          !(options.deadline > 0)) {
+        err << "invalid value for --deadline: " << arg.substr(11)
+            << " (expected a positive number of seconds)\n";
+        return 1;
+      }
     } else if (arg.rfind("--time-limit=", 0) == 0) {
       if (!flags::ParseNumber(arg.substr(13), &options.time_limit) ||
           !(options.time_limit > 0)) {
@@ -205,6 +332,22 @@ int RunBatchCommand(const std::vector<std::string>& args, std::ostream& out,
       }
     } else if (arg == "--no-cache") {
       options.cache = false;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      options.stats_json = arg.substr(13);
+      if (options.stats_json.empty()) {
+        err << "invalid value for --stats-json: expected a file path\n";
+        return 1;
+      }
+    } else if (arg.rfind("--worker-binary=", 0) == 0) {
+      options.worker_binary = arg.substr(16);
+      if (options.worker_binary.empty()) {
+        err << "invalid value for --worker-binary: expected a binary path\n";
+        return 1;
+      }
+    } else if (arg == "--mask-timings") {
+      options.mask_timings = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = arg.substr(6);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -240,28 +383,54 @@ int RunBatchCommand(const std::vector<std::string>& args, std::ostream& out,
     return 1;
   }
 
-  std::vector<BatchRecord> records = RunBatch(specs, options);
-  if (out_path == "-") {
-    WriteBatchJson(records, out);
-  } else {
-    std::ofstream file(out_path);
+  std::ofstream file;
+  if (out_path != "-") {
+    file.open(out_path);
     if (!file) {
       err << "cannot write " << out_path << "\n";
       return 1;
     }
-    WriteBatchJson(records, file);
   }
+  std::ostream& sink = out_path == "-" ? out : file;
+
+  std::vector<std::pair<std::string, std::string>> statuses;
+  BatchAggregateStats stats;
+  if (options.workers > 1) {
+    std::string error;
+    const int failures =
+        RunShardedBatch(specs, options, sink, &statuses, &stats, &error);
+    if (failures < 0) {
+      err << error << "\n";
+      return 1;
+    }
+  } else {
+    WallTimer timer;
+    std::vector<BatchRecord> records = RunBatch(specs, options);
+    statuses = WriteRecordsWithFaults(records, sink);
+    stats = AggregateInProcessStats(records, options, timer.Seconds());
+  }
+
   int failures = 0;
-  for (const BatchRecord& r : records) {
-    if (r.status != "ok") {
-      err << r.instance << ": " << r.status
-          << (r.error.empty() ? "" : " (" + r.error + ")") << "\n";
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].first != "ok") {
+      err << specs[i] << ": " << statuses[i].first
+          << (statuses[i].second.empty() ? "" : " (" + statuses[i].second + ")")
+          << "\n";
       ++failures;
     }
   }
-  err << records.size() - failures << "/" << records.size()
-      << " instances ranked (cost " << options.cost << ", " << options.threads
-      << " threads)\n";
+  if (options.stats) PrintBatchStats(stats, err);
+  if (!options.stats_json.empty()) {
+    std::ofstream stats_file(options.stats_json);
+    if (!stats_file) {
+      err << "cannot write " << options.stats_json << "\n";
+      return 1;
+    }
+    WriteBatchStatsJson(stats, stats_file);
+  }
+  err << stats.ok << "/" << statuses.size() << " instances ranked (cost "
+      << options.cost << ", " << options.workers << " workers, "
+      << options.threads << " threads)\n";
   return failures == 0 ? 0 : 2;
 }
 

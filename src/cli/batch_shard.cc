@@ -1,0 +1,377 @@
+#include "cli/batch_shard.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <sstream>
+
+#include "util/json_util.h"
+#include "util/subprocess.h"
+#include "util/timer.h"
+
+namespace mintri {
+
+namespace {
+
+// A mkstemp-backed shard list file, unlinked on scope exit.
+class TempListFile {
+ public:
+  TempListFile() = default;
+  ~TempListFile() {
+    if (!path_.empty()) unlink(path_.c_str());
+  }
+  TempListFile(const TempListFile&) = delete;
+  TempListFile& operator=(const TempListFile&) = delete;
+  TempListFile(TempListFile&& other) noexcept { std::swap(path_, other.path_); }
+  TempListFile& operator=(TempListFile&& other) noexcept {
+    std::swap(path_, other.path_);
+    return *this;
+  }
+
+  bool Create(const std::vector<std::string>& specs, size_t first,
+              size_t count, std::string* error) {
+    const char* tmpdir = std::getenv("TMPDIR");
+    std::string templ = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                        "/mintri_shard_XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const int fd = mkstemp(buf.data());
+    if (fd < 0) {
+      *error = std::string("mkstemp: ") + std::strerror(errno);
+      return false;
+    }
+    path_.assign(buf.data());
+    std::string contents;
+    for (size_t i = first; i < first + count; ++i) {
+      contents += specs[i];
+      contents += '\n';
+    }
+    size_t written = 0;
+    while (written < contents.size()) {
+      const ssize_t n =
+          write(fd, contents.data() + written, contents.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        *error = std::string("write ") + path_ + ": " + std::strerror(errno);
+        close(fd);
+        return false;
+      }
+      written += static_cast<size_t>(n);
+    }
+    close(fd);
+    return true;
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// Inverse of AppendJsonString for the escapes it emits (quote, backslash,
+// \n, \t, \u00xx); anything unexpected returns nullopt.
+std::optional<std::string> UnescapeJsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) return std::nullopt;
+    switch (s[i]) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        if (i + 4 >= s.size()) return std::nullopt;
+        out += static_cast<char>(
+            std::strtol(s.substr(i + 1, 4).c_str(), nullptr, 16));
+        i += 4;
+        break;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+// Extracts the value of a `"key": "..."` field from one record line emitted
+// by WriteBatchRecord. The needle cannot occur inside a string value: any
+// embedded quote is escaped there, so the bare `"key": "` byte sequence is
+// unambiguous.
+std::optional<std::string> ExtractStringField(const std::string& line,
+                                              const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  size_t end = at + needle.size();
+  while (end < line.size()) {
+    if (line[end] == '\\') {
+      end += 2;
+      continue;
+    }
+    if (line[end] == '"') break;
+    ++end;
+  }
+  if (end >= line.size()) return std::nullopt;
+  return UnescapeJsonString(
+      line.substr(at + needle.size(), end - (at + needle.size())));
+}
+
+std::optional<double> ExtractNumberField(const std::string& line,
+                                         const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return value;
+}
+
+// The argv a shard's child process runs: a single-process `mintri batch`
+// over the shard list, JSON-Lines on stdout. The worker inherits every
+// per-instance option but never --workers/--deadline/--stats — sharding is
+// one level deep.
+subprocess::Command WorkerCommand(const std::string& binary,
+                                  const std::string& list_path,
+                                  const BatchOptions& options) {
+  subprocess::Command command;
+  command.argv = {binary,
+                  "batch",
+                  list_path,
+                  "--cost=" + options.cost,
+                  "--top=" + std::to_string(options.top),
+                  "--threads=" + std::to_string(options.threads),
+                  "--inner-threads=" + std::to_string(options.inner_threads),
+                  "--time-limit=" + std::to_string(options.time_limit),
+                  "--out=-"};
+  if (!options.cache) command.argv.push_back("--no-cache");
+  if (options.mask_timings) command.argv.push_back("--mask-timings");
+  return command;
+}
+
+// Splits captured stdout into complete lines; a trailing fragment without a
+// newline is returned separately (the truthful partial-output signal).
+std::vector<std::string> SplitCompleteLines(const std::string& data,
+                                            std::string* fragment) {
+  std::vector<std::string> lines;
+  size_t begin = 0;
+  while (begin < data.size()) {
+    const size_t nl = data.find('\n', begin);
+    if (nl == std::string::npos) break;
+    lines.push_back(data.substr(begin, nl - begin));
+    begin = nl + 1;
+  }
+  *fragment = data.substr(begin);
+  return lines;
+}
+
+std::string FirstLineOf(const std::string& s) {
+  const size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+}  // namespace
+
+void PrintBatchStats(const BatchAggregateStats& stats, std::ostream& err) {
+  for (const WorkerShardStats& w : stats.worker_stats) {
+    err << "worker " << w.worker << ": instances [" << w.first << ", "
+        << w.first + w.count << ") ok=" << w.ok << " failed=" << w.failed
+        << " wall=" << w.wall_seconds << "s (" << w.termination << ")\n";
+  }
+  err << "batch: " << stats.instances << " instances, " << stats.ok
+      << " ok, " << stats.failed << " failed; workers=" << stats.workers
+      << " threads=" << stats.threads
+      << " inner-threads=" << stats.inner_threads
+      << "; wall=" << stats.wall_seconds
+      << "s init_total=" << stats.init_seconds_total << "s\n";
+  err << "bag-score cache (aggregate): lookups=" << stats.cache_lookups
+      << " hits=" << stats.cache_hits << " misses=" << stats.cache_misses
+      << " hit_rate=" << stats.CacheHitRate() << "\n";
+}
+
+void WriteBatchStatsJson(const BatchAggregateStats& stats,
+                         std::ostream& out) {
+  out << "{\"batch_stats_version\": 1, \"workers\": " << stats.workers
+      << ", \"threads\": " << stats.threads
+      << ", \"inner_threads\": " << stats.inner_threads << ", \"cost\": ";
+  AppendJsonString(stats.cost, out);
+  out << ", \"instances\": " << stats.instances << ", \"ok\": " << stats.ok
+      << ", \"failed\": " << stats.failed
+      << ", \"wall_seconds\": " << stats.wall_seconds
+      << ", \"init_seconds_total\": " << stats.init_seconds_total
+      << ", \"cache_lookups\": " << stats.cache_lookups
+      << ", \"cache_hits\": " << stats.cache_hits
+      << ", \"cache_misses\": " << stats.cache_misses
+      << ", \"cache_hit_rate\": " << stats.CacheHitRate()
+      << ", \"worker_stats\": [";
+  for (size_t i = 0; i < stats.worker_stats.size(); ++i) {
+    const WorkerShardStats& w = stats.worker_stats[i];
+    if (i > 0) out << ", ";
+    out << "{\"worker\": " << w.worker << ", \"first\": " << w.first
+        << ", \"count\": " << w.count << ", \"ok\": " << w.ok
+        << ", \"failed\": " << w.failed
+        << ", \"wall_seconds\": " << w.wall_seconds << ", \"termination\": ";
+    AppendJsonString(w.termination, out);
+    out << "}";
+  }
+  out << "]}\n";
+}
+
+int RunShardedBatch(
+    const std::vector<std::string>& specs, const BatchOptions& options,
+    std::ostream& sink,
+    std::vector<std::pair<std::string, std::string>>* statuses,
+    BatchAggregateStats* stats, std::string* error) {
+  WallTimer run_timer;
+  const size_t n = specs.size();
+  const int workers = static_cast<int>(
+      std::max<size_t>(1, std::min<size_t>(options.workers, n)));
+
+  std::string binary = options.worker_binary.empty()
+                           ? subprocess::SelfExecutablePath()
+                           : options.worker_binary;
+  if (binary.empty()) {
+    *error = "cannot resolve the worker binary (/proc/self/exe); pass "
+             "--worker-binary=PATH";
+    return -1;
+  }
+
+  // Contiguous, as-even-as-possible shards in input order: the first
+  // n % workers shards carry one extra instance.
+  std::vector<size_t> shard_first(workers), shard_count(workers);
+  const size_t base = n / workers, extra = n % workers;
+  for (int w = 0, at = 0; w < workers; ++w) {
+    shard_first[w] = at;
+    shard_count[w] = base + (static_cast<size_t>(w) < extra ? 1 : 0);
+    at += static_cast<int>(shard_count[w]);
+  }
+
+  std::vector<TempListFile> lists(workers);
+  std::vector<subprocess::Command> commands;
+  for (int w = 0; w < workers; ++w) {
+    if (!lists[w].Create(specs, shard_first[w], shard_count[w], error)) {
+      return -1;
+    }
+    commands.push_back(WorkerCommand(binary, lists[w].path(), options));
+  }
+
+  std::vector<subprocess::Result> results =
+      subprocess::RunAll(commands, options.deadline);
+
+  stats->workers = workers;
+  stats->threads = options.threads;
+  stats->inner_threads = options.inner_threads;
+  stats->cost = options.cost;
+  stats->instances = static_cast<int>(n);
+
+  int failures = 0;
+  for (int w = 0; w < workers; ++w) {
+    const subprocess::Result& result = results[w];
+    WorkerShardStats ws;
+    ws.worker = w;
+    ws.first = static_cast<int>(shard_first[w]);
+    ws.count = static_cast<int>(shard_count[w]);
+    ws.wall_seconds = result.wall_seconds;
+    ws.termination = subprocess::DescribeTermination(result);
+
+    std::string fragment;
+    std::vector<std::string> lines =
+        SplitCompleteLines(result.stdout_data, &fragment);
+    bool desynced = false;
+    std::string desync_detail;
+    for (size_t j = 0; j < shard_count[w]; ++j) {
+      const std::string& spec = specs[shard_first[w] + j];
+      if (!desynced && j < lines.size()) {
+        const std::string& line = lines[j];
+        const std::optional<std::string> instance =
+            ExtractStringField(line, "instance");
+        const std::optional<std::string> status =
+            ExtractStringField(line, "status");
+        if (instance.has_value() && *instance == spec && status.has_value()) {
+          // A verbatim worker line: this is the byte-identity path.
+          sink << line << '\n';
+          statuses->emplace_back(
+              *status, ExtractStringField(line, "error").value_or(""));
+          if (*status == "ok") {
+            ++ws.ok;
+            stats->init_seconds_total +=
+                ExtractNumberField(line, "init_seconds").value_or(0);
+          } else {
+            ++ws.failed;
+            ++failures;
+          }
+          stats->cache_lookups += static_cast<long long>(
+              ExtractNumberField(line, "cache_lookups").value_or(0));
+          stats->cache_hits += static_cast<long long>(
+              ExtractNumberField(line, "cache_hits").value_or(0));
+          stats->cache_misses += static_cast<long long>(
+              ExtractNumberField(line, "cache_misses").value_or(0));
+          continue;
+        }
+        desynced = true;
+        desync_detail = "worker output desynchronized at shard line " +
+                        std::to_string(j) + " (expected instance " + spec +
+                        ")";
+      }
+      // No trustworthy worker line for this instance: synthesize a truthful
+      // error record through the same serializer the workers use.
+      BatchRecord record;
+      record.instance = spec;
+      record.cost_name = options.cost;
+      std::ostringstream detail;
+      if (desynced) {
+        record.status = "worker-crashed";
+        detail << desync_detail << "; " << ws.termination;
+      } else if (j == lines.size() && !fragment.empty()) {
+        record.status = "worker-partial";
+        detail << "worker emitted " << fragment.size()
+               << " bytes of an unterminated record (" << ws.termination
+               << ")";
+      } else if (result.timed_out) {
+        record.status = "worker-timeout";
+        detail << "shard exceeded the --deadline=" << options.deadline
+               << "s budget (" << ws.termination << ")";
+      } else if (!result.spawned) {
+        record.status = "worker-spawn-error";
+        detail << ws.termination;
+      } else {
+        record.status = "worker-crashed";
+        detail << "worker ended before emitting this record ("
+               << ws.termination << ")";
+      }
+      if (!result.stderr_data.empty() && !result.timed_out) {
+        detail << "; stderr: " << FirstLineOf(result.stderr_data);
+      }
+      record.error = detail.str();
+      WriteBatchRecord(record, sink);
+      statuses->emplace_back(record.status, record.error);
+      ++ws.failed;
+      ++failures;
+    }
+    stats->ok += ws.ok;
+    stats->failed += ws.failed;
+    stats->worker_stats.push_back(std::move(ws));
+  }
+  stats->wall_seconds = run_timer.Seconds();
+  return failures;
+}
+
+}  // namespace mintri

@@ -1,0 +1,78 @@
+#ifndef MINTRI_CLI_BATCH_SHARD_H_
+#define MINTRI_CLI_BATCH_SHARD_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/batch.h"
+
+namespace mintri {
+
+/// Per-worker outcome of one sharded batch run (also used, with a single
+/// "in-process" pseudo-worker, for the unsharded path's --stats output).
+struct WorkerShardStats {
+  int worker = 0;
+  int first = 0;             // global index of the shard's first instance
+  int count = 0;             // instances in the shard
+  int ok = 0;                // records with status "ok"
+  int failed = 0;            // everything else, synthesized records included
+  double wall_seconds = 0;   // spawn-to-reap (in-process: whole run)
+  std::string termination;   // "exit 0" | "signal 9 (...)" | "in-process" ...
+};
+
+/// Aggregated statistics over one `mintri batch` run, merged across all
+/// workers. Serialized by WriteBatchStatsJson and validated by
+/// scripts/validate_bench_json.py --batch-stats.
+struct BatchAggregateStats {
+  int workers = 1;
+  int threads = 1;
+  int inner_threads = 1;
+  std::string cost;
+  int instances = 0;
+  int ok = 0;
+  int failed = 0;
+  double wall_seconds = 0;         // coordinator wall clock for the run
+  double init_seconds_total = 0;   // summed over ok records
+  long long cache_lookups = 0;     // summed bag-score cache counters
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  std::vector<WorkerShardStats> worker_stats;
+
+  double CacheHitRate() const {
+    return cache_lookups > 0
+               ? static_cast<double>(cache_hits) / cache_lookups
+               : 0.0;
+  }
+};
+
+/// Human-readable per-worker + aggregate summary (the --stats output).
+void PrintBatchStats(const BatchAggregateStats& stats, std::ostream& err);
+
+/// Machine-readable aggregate stats (the --stats-json output).
+void WriteBatchStatsJson(const BatchAggregateStats& stats, std::ostream& out);
+
+/// The multi-process coordinator behind `mintri batch --workers=N`:
+/// partitions specs into contiguous shards (as even as possible, in input
+/// order), spawns one child `mintri batch` process per shard (JSON-Lines on
+/// a captured stdout pipe), and merges the complete lines back in shard
+/// order — so a healthy run's output stream is byte-identical to the
+/// in-process run at every (workers, threads, inner-threads) split. A
+/// worker that crashes, desynchronizes, or outlives options.deadline is
+/// reported truthfully: each of its unfinished instances yields a
+/// synthesized per-instance error record (status "worker-crashed" /
+/// "worker-partial" / "worker-timeout" / "worker-spawn-error") instead of
+/// hanging or silently dropping output.
+///
+/// Writes merged records to sink, appends one (status, error) pair per
+/// instance to statuses, and fills stats. Returns the number of non-ok
+/// records, or -1 on a coordinator-level failure (error is set and nothing
+/// is written).
+int RunShardedBatch(const std::vector<std::string>& specs,
+                    const BatchOptions& options, std::ostream& sink,
+                    std::vector<std::pair<std::string, std::string>>* statuses,
+                    BatchAggregateStats* stats, std::string* error);
+
+}  // namespace mintri
+
+#endif  // MINTRI_CLI_BATCH_SHARD_H_

@@ -1,0 +1,268 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+extern char** environ;
+
+namespace mintri {
+namespace subprocess {
+
+namespace {
+
+// Parent-side state for one spawned child: the pid, the read ends of its
+// stdout/stderr pipes (-1 once closed), and reap bookkeeping.
+struct ChildState {
+  pid_t pid = -1;
+  int out_fd = -1;
+  int err_fd = -1;
+  bool reaped = false;
+  bool killed = false;
+  std::chrono::steady_clock::time_point start;
+};
+
+bool MakePipe(int fds[2]) {
+#ifdef __linux__
+  if (pipe2(fds, O_CLOEXEC) != 0) return false;
+#else
+  if (pipe(fds) != 0) return false;
+  fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+#endif
+  // Non-blocking read ends: the poll loop must never stall on one child
+  // while another child's pipe is filling up.
+  fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  return true;
+}
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) close(*fd);
+  *fd = -1;
+}
+
+// Spawns commands[i]; on success fills child->pid and the pipe read ends.
+bool SpawnOne(const Command& command, ChildState* child, Result* result) {
+  int out_pipe[2];
+  int err_pipe[2];
+  if (!MakePipe(out_pipe)) {
+    result->spawn_error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  if (!MakePipe(err_pipe)) {
+    result->spawn_error = std::string("pipe: ") + std::strerror(errno);
+    CloseFd(&out_pipe[0]);
+    CloseFd(&out_pipe[1]);
+    return false;
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(command.argv.size() + 1);
+  for (const std::string& arg : command.argv) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_addopen(&actions, STDIN_FILENO, "/dev/null",
+                                   O_RDONLY, 0);
+  // dup2 clears FD_CLOEXEC on the duplicate, so the child keeps exactly its
+  // own two write ends; every other pipe fd (including other children's)
+  // closes across the exec and cannot hold a sibling's EOF hostage.
+  posix_spawn_file_actions_adddup2(&actions, out_pipe[1], STDOUT_FILENO);
+  posix_spawn_file_actions_adddup2(&actions, err_pipe[1], STDERR_FILENO);
+
+  // Each child leads its own process group so a deadline kill reaches any
+  // helpers it forked, not just the immediate child.
+  posix_spawnattr_t attr;
+  posix_spawnattr_init(&attr);
+  posix_spawnattr_setpgroup(&attr, 0);
+  posix_spawnattr_setflags(&attr, POSIX_SPAWN_SETPGROUP);
+
+  pid_t pid = -1;
+  child->start = std::chrono::steady_clock::now();
+  const int rc =
+      posix_spawnp(&pid, argv[0], &actions, &attr, argv.data(), environ);
+  posix_spawnattr_destroy(&attr);
+  posix_spawn_file_actions_destroy(&actions);
+  CloseFd(&out_pipe[1]);
+  CloseFd(&err_pipe[1]);
+  if (rc != 0) {
+    result->spawn_error = std::strerror(rc);
+    CloseFd(&out_pipe[0]);
+    CloseFd(&err_pipe[0]);
+    return false;
+  }
+  result->spawned = true;
+  child->pid = pid;
+  child->out_fd = out_pipe[0];
+  child->err_fd = err_pipe[0];
+  return true;
+}
+
+// Drains whatever is currently readable; closes the fd on EOF/error.
+void ReadAvailable(int* fd, std::string* sink) {
+  char buffer[65536];
+  while (true) {
+    const ssize_t n = read(*fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      sink->append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    CloseFd(fd);  // EOF or unrecoverable error
+    return;
+  }
+}
+
+void DecodeStatus(int status, Result* result) {
+  if (WIFEXITED(status)) {
+    result->exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result->signaled = true;
+    result->term_signal = WTERMSIG(status);
+  }
+}
+
+}  // namespace
+
+std::vector<Result> RunAll(const std::vector<Command>& commands,
+                           double deadline_seconds) {
+  const size_t n = commands.size();
+  std::vector<Result> results(n);
+  std::vector<ChildState> children(n);
+  const auto start = std::chrono::steady_clock::now();
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!SpawnOne(commands[i], &children[i], &results[i])) {
+      children[i].reaped = true;  // nothing to wait for
+    }
+  }
+
+  auto elapsed = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  while (true) {
+    // Reap children that have exited; buffered pipe data stays readable
+    // after the reap, so this never loses output.
+    bool all_done = true;
+    for (size_t i = 0; i < n; ++i) {
+      ChildState& c = children[i];
+      if (!c.reaped) {
+        int status = 0;
+        const pid_t r = waitpid(c.pid, &status, WNOHANG);
+        if (r == c.pid) {
+          DecodeStatus(status, &results[i]);
+          results[i].wall_seconds =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            c.start)
+                  .count();
+          c.reaped = true;
+          // Everything the dead child wrote is already in the pipe buffers;
+          // drain and close now, so a lingering grandchild that inherited
+          // the write end (e.g. a shell that forked) cannot wedge the loop
+          // waiting for an EOF that never comes.
+          if (c.out_fd >= 0) {
+            ReadAvailable(&c.out_fd, &results[i].stdout_data);
+            CloseFd(&c.out_fd);
+          }
+          if (c.err_fd >= 0) {
+            ReadAvailable(&c.err_fd, &results[i].stderr_data);
+            CloseFd(&c.err_fd);
+          }
+        }
+      }
+      if (!c.reaped || c.out_fd >= 0 || c.err_fd >= 0) all_done = false;
+    }
+    if (all_done) break;
+
+    // Deadline enforcement: SIGKILL every straggler exactly once.
+    if (deadline_seconds > 0 && elapsed() >= deadline_seconds) {
+      for (size_t i = 0; i < n; ++i) {
+        ChildState& c = children[i];
+        if (!c.reaped && !c.killed) {
+          kill(-c.pid, SIGKILL);  // the whole process group
+          c.killed = true;
+          results[i].timed_out = true;
+        }
+      }
+    }
+
+    // Poll every open pipe; cap the wait so deadline checks and reaps stay
+    // responsive even when no fd turns readable.
+    int timeout_ms = 100;
+    if (deadline_seconds > 0) {
+      const double remaining = deadline_seconds - elapsed();
+      if (remaining < 0.1) {
+        timeout_ms = remaining > 0 ? static_cast<int>(remaining * 1000) + 1
+                                   : 10;
+      }
+    }
+    std::vector<pollfd> fds;
+    std::vector<std::pair<int*, std::string*>> targets;
+    for (size_t i = 0; i < n; ++i) {
+      for (auto [fd, sink] :
+           {std::make_pair(&children[i].out_fd, &results[i].stdout_data),
+            std::make_pair(&children[i].err_fd, &results[i].stderr_data)}) {
+        if (*fd >= 0) {
+          fds.push_back({*fd, POLLIN, 0});
+          targets.emplace_back(fd, sink);
+        }
+      }
+    }
+    const int ready = poll(fds.empty() ? nullptr : fds.data(),
+                           static_cast<nfds_t>(fds.size()), timeout_ms);
+    if (ready > 0) {
+      for (size_t k = 0; k < fds.size(); ++k) {
+        if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) {
+          ReadAvailable(targets[k].first, targets[k].second);
+        }
+      }
+    }
+  }
+  return results;
+}
+
+Result Run(const Command& command, double deadline_seconds) {
+  return RunAll({command}, deadline_seconds)[0];
+}
+
+std::string DescribeTermination(const Result& result) {
+  std::ostringstream os;
+  if (!result.spawned) {
+    os << "spawn failed: " << result.spawn_error;
+  } else if (result.timed_out) {
+    os << "killed after deadline (" << result.wall_seconds << "s)";
+  } else if (result.signaled) {
+    const char* name = strsignal(result.term_signal);
+    os << "signal " << result.term_signal << " (" << (name ? name : "?")
+       << ")";
+  } else {
+    os << "exit " << result.exit_code;
+  }
+  return os.str();
+}
+
+std::string SelfExecutablePath() {
+  char buffer[4096];
+  const ssize_t n = readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return "";
+  buffer[n] = '\0';
+  return std::string(buffer);
+}
+
+}  // namespace subprocess
+}  // namespace mintri

@@ -1,0 +1,55 @@
+#ifndef MINTRI_UTIL_SUBPROCESS_H_
+#define MINTRI_UTIL_SUBPROCESS_H_
+
+#include <string>
+#include <vector>
+
+namespace mintri {
+namespace subprocess {
+
+/// One child process to run: an argv whose first element is the executable
+/// path (resolved via PATH when it contains no slash).
+struct Command {
+  std::vector<std::string> argv;
+};
+
+/// The decoded outcome of one child. Exactly one of the failure markers
+/// applies; a healthy run has spawned && !timed_out && !signaled &&
+/// exit_code == 0.
+struct Result {
+  bool spawned = false;      ///< exec happened (false: see spawn_error)
+  std::string spawn_error;   ///< strerror detail when !spawned
+  bool timed_out = false;    ///< killed because the shared deadline expired
+  bool signaled = false;     ///< terminated by a signal (incl. our SIGKILL)
+  int exit_code = -1;        ///< WEXITSTATUS, valid when spawned && !signaled
+  int term_signal = 0;       ///< WTERMSIG, valid when signaled
+  double wall_seconds = 0;   ///< spawn-to-reap elapsed time
+  std::string stdout_data;   ///< everything the child wrote to stdout
+  std::string stderr_data;   ///< everything the child wrote to stderr
+};
+
+/// Spawns every command at once (posix_spawn; stdin from /dev/null), captures
+/// both output pipes of every child concurrently — poll-multiplexed, so no
+/// child can deadlock on a full pipe buffer regardless of output volume —
+/// enforces one shared deadline in seconds (<= 0 means none) by SIGKILLing
+/// stragglers, reaps each child, and decodes its exit status.
+/// results[i] corresponds to commands[i].
+std::vector<Result> RunAll(const std::vector<Command>& commands,
+                           double deadline_seconds);
+
+/// Convenience wrapper for a single command.
+Result Run(const Command& command, double deadline_seconds);
+
+/// Human-readable one-liner: "exit 0", "signal 11 (SIGSEGV)",
+/// "killed after 5s deadline", "spawn failed: No such file or directory".
+std::string DescribeTermination(const Result& result);
+
+/// The path of the currently running executable (/proc/self/exe), or an
+/// empty string when it cannot be resolved. The batch coordinator uses it
+/// to re-invoke itself as the worker binary.
+std::string SelfExecutablePath();
+
+}  // namespace subprocess
+}  // namespace mintri
+
+#endif  // MINTRI_UTIL_SUBPROCESS_H_

@@ -1,0 +1,325 @@
+// The multi-process batch coordinator: contiguous sharding across child
+// `mintri batch` processes with a deterministic in-order merge. A healthy
+// sharded run must be byte-identical to the in-process run at every
+// (workers, threads, inner-threads) split; a crashed, partial, or
+// deadline-killed worker must yield truthful per-instance error records
+// instead of a hung coordinator.
+//
+// The child processes are real spawns of the mintri CLI binary
+// (MINTRI_CLI_BINARY, baked in by tests/CMakeLists.txt), and the failure
+// paths are driven by the MINTRI_BATCH_FAULT fault-injection hook in
+// src/cli/batch.cc.
+
+#include "cli/batch_shard.h"
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/batch.h"
+#include "util/timer.h"
+
+namespace mintri {
+namespace {
+
+std::vector<std::string> TpchSpecs() {
+  return {"tpch:2", "tpch:5", "tpch:7", "tpch:8", "tpch:9", "tpch:20"};
+}
+
+// Scoped MINTRI_BATCH_FAULT so a failing assertion cannot leak the fault
+// into later tests.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& value) {
+    setenv("MINTRI_BATCH_FAULT", value.c_str(), 1);
+  }
+  ~ScopedFault() { unsetenv("MINTRI_BATCH_FAULT"); }
+};
+
+// A temp file holding one spec per line, unlinked on scope exit.
+class SpecListFile {
+ public:
+  explicit SpecListFile(const std::vector<std::string>& specs) {
+    char templ[] = "/tmp/mintri_shard_test_XXXXXX";
+    const int fd = mkstemp(templ);
+    EXPECT_GE(fd, 0);
+    path_ = templ;
+    std::ofstream out(path_);
+    for (const std::string& s : specs) out << s << "\n";
+    close(fd);
+  }
+  ~SpecListFile() { unlink(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct CommandResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+// Runs RunBatchCommand over a spec list. With workers > 1 this spawns real
+// child mintri processes; --mask-timings makes the output byte-comparable.
+CommandResult RunBatchCli(const std::vector<std::string>& specs,
+                          const std::vector<std::string>& extra_args) {
+  SpecListFile list(specs);
+  std::vector<std::string> args = {list.path(), "--cost=fhw", "--top=2",
+                                   "--mask-timings",
+                                   std::string("--worker-binary=") +
+                                       MINTRI_CLI_BINARY};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  std::ostringstream out, err;
+  const int code = RunBatchCommand(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+BatchOptions ShardOptions(int workers) {
+  BatchOptions options;
+  options.cost = "fhw";
+  options.top = 2;
+  options.workers = workers;
+  options.mask_timings = true;
+  options.worker_binary = MINTRI_CLI_BINARY;
+  return options;
+}
+
+TEST(BatchShardTest, ByteIdenticalAcrossWorkersAndThreads) {
+  const CommandResult baseline = RunBatchCli(TpchSpecs(), {"--workers=1"});
+  ASSERT_EQ(baseline.code, 0) << baseline.err;
+  for (int workers : {2, 3, 4, 6}) {
+    for (int threads : {1, 2}) {
+      const CommandResult sharded = RunBatchCli(
+          TpchSpecs(), {"--workers=" + std::to_string(workers),
+                        "--threads=" + std::to_string(threads)});
+      EXPECT_EQ(sharded.code, 0) << sharded.err;
+      EXPECT_EQ(sharded.out, baseline.out)
+          << "workers=" << workers << " threads=" << threads;
+    }
+  }
+}
+
+TEST(BatchShardTest, ByteIdenticalWithInnerThreads) {
+  const CommandResult baseline = RunBatchCli(TpchSpecs(), {"--workers=1"});
+  ASSERT_EQ(baseline.code, 0) << baseline.err;
+  const CommandResult sharded = RunBatchCli(
+      TpchSpecs(), {"--workers=3", "--threads=2", "--inner-threads=2"});
+  EXPECT_EQ(sharded.code, 0) << sharded.err;
+  EXPECT_EQ(sharded.out, baseline.out);
+}
+
+TEST(BatchShardTest, EmptyListIsRejectedBeforeSharding) {
+  // An empty instance list errors out identically at every --workers value:
+  // the coordinator never spawns a worker for nothing.
+  const CommandResult r = RunBatchCli({}, {"--workers=3"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("no instances listed"), std::string::npos) << r.err;
+  EXPECT_TRUE(r.out.empty());
+}
+
+TEST(BatchShardTest, MoreWorkersThanInstancesClampsCleanly) {
+  const std::vector<std::string> specs = {"tpch:5", "tpch:7"};
+  const CommandResult baseline = RunBatchCli(specs, {"--workers=1"});
+  ASSERT_EQ(baseline.code, 0) << baseline.err;
+  const CommandResult sharded = RunBatchCli(specs, {"--workers=8"});
+  EXPECT_EQ(sharded.code, 0) << sharded.err;
+  EXPECT_EQ(sharded.out, baseline.out);
+
+  // The coordinator must clamp to one worker per instance, not spawn
+  // empty-shard children.
+  std::vector<std::pair<std::string, std::string>> statuses;
+  BatchAggregateStats stats;
+  std::string error;
+  std::ostringstream sink;
+  const int failures =
+      RunShardedBatch(specs, ShardOptions(8), sink, &statuses, &stats, &error);
+  EXPECT_EQ(failures, 0) << error;
+  EXPECT_EQ(stats.workers, 2);
+  ASSERT_EQ(stats.worker_stats.size(), 2u);
+  EXPECT_EQ(stats.worker_stats[0].count, 1);
+  EXPECT_EQ(stats.worker_stats[1].count, 1);
+  EXPECT_EQ(stats.ok, 2);
+}
+
+TEST(BatchShardTest, SingleInstanceShardWorks) {
+  const std::vector<std::string> specs = {"tpch:5"};
+  const CommandResult baseline = RunBatchCli(specs, {"--workers=1"});
+  const CommandResult sharded = RunBatchCli(specs, {"--workers=4"});
+  EXPECT_EQ(sharded.code, 0) << sharded.err;
+  EXPECT_EQ(sharded.out, baseline.out);
+}
+
+TEST(BatchShardTest, LoadErrorsSurviveTheMergeVerbatim) {
+  // Worker-side per-instance failures (bad specs) are ordinary records and
+  // must merge exactly like ok records — same bytes as the in-process run.
+  const std::vector<std::string> specs = {"tpch:5", "no-such-file.gr",
+                                          "tpch:7", "gm:nope"};
+  const CommandResult baseline = RunBatchCli(specs, {"--workers=1"});
+  EXPECT_EQ(baseline.code, 2);
+  const CommandResult sharded = RunBatchCli(specs, {"--workers=3"});
+  EXPECT_EQ(sharded.code, 2);
+  EXPECT_EQ(sharded.out, baseline.out);
+}
+
+TEST(BatchShardTest, CrashedWorkerYieldsPartialAndCrashedRecords) {
+  // Shards over 6 instances at 2 workers: [tpch:2 tpch:5 tpch:7] and
+  // [tpch:8 tpch:9 tpch:20]. The injected fault kills worker 0 halfway
+  // through tpch:5's record, so tpch:5 is a truthfully-reported partial
+  // line and tpch:7 never ran; worker 1 is unaffected.
+  ScopedFault fault("crash:tpch:5");
+  std::vector<std::pair<std::string, std::string>> statuses;
+  BatchAggregateStats stats;
+  std::string error;
+  std::ostringstream sink;
+  const int failures = RunShardedBatch(TpchSpecs(), ShardOptions(2), sink,
+                                       &statuses, &stats, &error);
+  EXPECT_EQ(failures, 2) << error;
+  ASSERT_EQ(statuses.size(), 6u);
+  EXPECT_EQ(statuses[0].first, "ok");
+  EXPECT_EQ(statuses[1].first, "worker-partial");
+  EXPECT_NE(statuses[1].second.find("unterminated record"),
+            std::string::npos);
+  EXPECT_EQ(statuses[2].first, "worker-crashed");
+  EXPECT_EQ(statuses[3].first, "ok");
+  EXPECT_EQ(statuses[4].first, "ok");
+  EXPECT_EQ(statuses[5].first, "ok");
+  // The synthesized records are real JSON-Lines records, one per instance.
+  const std::string out = sink.str();
+  EXPECT_NE(out.find("\"status\": \"worker-partial\""), std::string::npos);
+  EXPECT_NE(out.find("\"status\": \"worker-crashed\""), std::string::npos);
+  EXPECT_EQ(stats.ok, 4);
+  EXPECT_EQ(stats.failed, 2);
+}
+
+TEST(BatchShardTest, DeadlineKillsHungWorkerWithTimeoutRecords) {
+  // Worker 0 emits tpch:2's record and then hangs; the per-shard deadline
+  // must kill it and synthesize worker-timeout records for the rest of its
+  // shard while worker 1 completes normally — and the coordinator itself
+  // must return promptly instead of hanging.
+  ScopedFault fault("hang:tpch:2");
+  BatchOptions options = ShardOptions(2);
+  options.deadline = 2.0;
+  WallTimer timer;
+  std::vector<std::pair<std::string, std::string>> statuses;
+  BatchAggregateStats stats;
+  std::string error;
+  std::ostringstream sink;
+  const int failures = RunShardedBatch(TpchSpecs(), options, sink, &statuses,
+                                       &stats, &error);
+  EXPECT_LT(timer.Seconds(), 60.0);
+  EXPECT_EQ(failures, 2) << error;
+  ASSERT_EQ(statuses.size(), 6u);
+  EXPECT_EQ(statuses[0].first, "ok");
+  EXPECT_EQ(statuses[1].first, "worker-timeout");
+  EXPECT_NE(statuses[1].second.find("--deadline"), std::string::npos);
+  EXPECT_EQ(statuses[2].first, "worker-timeout");
+  EXPECT_EQ(statuses[3].first, "ok");
+  EXPECT_EQ(statuses[4].first, "ok");
+  EXPECT_EQ(statuses[5].first, "ok");
+  ASSERT_EQ(stats.worker_stats.size(), 2u);
+  EXPECT_NE(stats.worker_stats[0].termination.find("deadline"),
+            std::string::npos);
+}
+
+TEST(BatchShardTest, StatsAggregateAcrossWorkers) {
+  std::vector<std::pair<std::string, std::string>> statuses;
+  BatchAggregateStats stats;
+  std::string error;
+  std::ostringstream sink;
+  const int failures = RunShardedBatch(TpchSpecs(), ShardOptions(3), sink,
+                                       &statuses, &stats, &error);
+  EXPECT_EQ(failures, 0) << error;
+  EXPECT_EQ(stats.instances, 6);
+  EXPECT_EQ(stats.ok, 6);
+  EXPECT_EQ(stats.failed, 0);
+  ASSERT_EQ(stats.worker_stats.size(), 3u);
+  int covered = 0;
+  for (const WorkerShardStats& w : stats.worker_stats) {
+    EXPECT_EQ(w.first, covered);
+    covered += w.count;
+    EXPECT_EQ(w.termination, "exit 0");
+    EXPECT_GT(w.wall_seconds, 0.0);
+  }
+  EXPECT_EQ(covered, 6);
+  // The fhw runs hit the bag-score cache; the aggregate must carry the
+  // summed per-instance counters (deterministic across worker splits).
+  EXPECT_GT(stats.cache_lookups, 0);
+  EXPECT_GT(stats.cache_hits, 0);
+  EXPECT_EQ(stats.cache_lookups, stats.cache_hits + stats.cache_misses);
+  EXPECT_GT(stats.CacheHitRate(), 0.0);
+  EXPECT_LE(stats.CacheHitRate(), 1.0);
+}
+
+TEST(BatchShardTest, StatsJsonIsWrittenAndShaped) {
+  SpecListFile list(TpchSpecs());
+  char templ[] = "/tmp/mintri_stats_json_XXXXXX";
+  const int fd = mkstemp(templ);
+  ASSERT_GE(fd, 0);
+  close(fd);
+  const std::string stats_path = templ;
+
+  std::ostringstream out, err;
+  const int code = RunBatchCommand(
+      {list.path(), "--cost=fhw", "--top=1", "--workers=2", "--stats",
+       "--stats-json=" + stats_path,
+       std::string("--worker-binary=") + MINTRI_CLI_BINARY},
+      out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  // --stats: per-worker lines + aggregate summary on stderr.
+  EXPECT_NE(err.str().find("worker 0: instances [0, 3)"), std::string::npos)
+      << err.str();
+  EXPECT_NE(err.str().find("worker 1: instances [3, 6)"), std::string::npos);
+  EXPECT_NE(err.str().find("batch: 6 instances, 6 ok"), std::string::npos);
+  EXPECT_NE(err.str().find("bag-score cache (aggregate)"),
+            std::string::npos);
+
+  std::ifstream stats_file(stats_path);
+  std::stringstream stats_json;
+  stats_json << stats_file.rdbuf();
+  unlink(stats_path.c_str());
+  for (const char* key :
+       {"\"batch_stats_version\": 1", "\"workers\": 2", "\"instances\": 6",
+        "\"ok\": 6", "\"failed\": 0", "\"cache_hit_rate\": ",
+        "\"worker_stats\": [{\"worker\": 0, \"first\": 0, \"count\": 3"}) {
+    EXPECT_NE(stats_json.str().find(key), std::string::npos)
+        << key << "\n" << stats_json.str();
+  }
+}
+
+TEST(BatchShardTest, InProcessStatsUseTheSameShape) {
+  SpecListFile list({"tpch:5", "tpch:7"});
+  std::ostringstream out, err;
+  const int code = RunBatchCommand(
+      {list.path(), "--cost=fhw", "--top=1", "--stats"}, out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  EXPECT_NE(err.str().find("(in-process)"), std::string::npos) << err.str();
+  EXPECT_NE(err.str().find("batch: 2 instances, 2 ok"), std::string::npos);
+}
+
+TEST(BatchShardTest, BadWorkerBinaryReportsSpawnErrors) {
+  std::vector<std::pair<std::string, std::string>> statuses;
+  BatchAggregateStats stats;
+  std::string error;
+  std::ostringstream sink;
+  BatchOptions options = ShardOptions(2);
+  options.worker_binary = "/no/such/mintri/binary";
+  const int failures = RunShardedBatch({"tpch:5", "tpch:7"}, options, sink,
+                                       &statuses, &stats, &error);
+  EXPECT_EQ(failures, 2) << error;
+  for (const auto& [status, detail] : statuses) {
+    // glibc reports the exec failure at spawn time; a libc that defers it
+    // surfaces the conventional exit 127 as a crash. Either is truthful.
+    EXPECT_TRUE(status == "worker-spawn-error" || status == "worker-crashed")
+        << status << ": " << detail;
+  }
+}
+
+}  // namespace
+}  // namespace mintri

@@ -279,6 +279,28 @@ TEST(CliTest, BatchCommand) {
   EXPECT_EQ(Invoke({"batch", "x.txt", "--time-limit=1e999"}, "").code, 1);
 }
 
+TEST(CliTest, BatchShardingFlags) {
+  CliResult help = Invoke({"batch", "--help"}, "");
+  EXPECT_NE(help.out.find("--workers="), std::string::npos) << help.out;
+  EXPECT_NE(help.out.find("--deadline="), std::string::npos) << help.out;
+  EXPECT_NE(help.out.find("--stats"), std::string::npos) << help.out;
+
+  // --workers rides the same strict parser as --threads: zero, negatives,
+  // overflow, and trailing garbage are all rejected up front.
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--workers=0"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--workers=-2"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--workers=8abc"}, "").code, 1);
+  EXPECT_EQ(
+      Invoke({"batch", "x.txt", "--workers=99999999999999999999"}, "").code,
+      1);
+  // A deadline of zero (or less) would kill every worker instantly; the
+  // flag requires a positive budget.
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--deadline=0"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--deadline=-1"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--deadline=2s"}, "").code, 1);
+  EXPECT_EQ(Invoke({"batch", "x.txt", "--worker-binary="}, "").code, 1);
+}
+
 TEST(CliTest, BenchSmokeEmitsSchemaShapedJson) {
   // The smallest real run: one suite, smoke-trimmed families, JSON on
   // stdout. Spot-checks the schema keys the validator enforces.

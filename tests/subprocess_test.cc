@@ -1,0 +1,128 @@
+// The process-management utility under the batch coordinator: spawn,
+// poll-multiplexed pipe capture, deadline kill, exit-status decode.
+
+#include "util/subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/timer.h"
+
+namespace mintri {
+namespace subprocess {
+namespace {
+
+Command Sh(const std::string& script) {
+  return Command{{"/bin/sh", "-c", script}};
+}
+
+// Inside a TEST body the unqualified name Run finds testing::Test::Run;
+// this namespace-scope alias keeps the call sites on the utility.
+Result RunOne(const Command& command, double deadline_seconds) {
+  return Run(command, deadline_seconds);
+}
+
+TEST(SubprocessTest, CapturesStdoutAndStderr) {
+  const Result r = RunOne(Sh("printf out-data; printf err-data >&2"), 10);
+  EXPECT_TRUE(r.spawned);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_FALSE(r.signaled);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.stdout_data, "out-data");
+  EXPECT_EQ(r.stderr_data, "err-data");
+  EXPECT_EQ(DescribeTermination(r), "exit 0");
+}
+
+TEST(SubprocessTest, DecodesNonzeroExit) {
+  const Result r = RunOne(Sh("exit 3"), 10);
+  EXPECT_TRUE(r.spawned);
+  EXPECT_FALSE(r.signaled);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_EQ(DescribeTermination(r), "exit 3");
+}
+
+TEST(SubprocessTest, DecodesSignalTermination) {
+  const Result r = RunOne(Sh("kill -9 $$"), 10);
+  EXPECT_TRUE(r.spawned);
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_TRUE(r.signaled);
+  EXPECT_EQ(r.term_signal, 9);
+  EXPECT_NE(DescribeTermination(r).find("signal 9"), std::string::npos);
+}
+
+TEST(SubprocessTest, DeadlineKillsAStraggler) {
+  WallTimer timer;
+  const Result r = RunOne(Sh("sleep 600"), 0.3);
+  EXPECT_TRUE(r.spawned);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(r.signaled);
+  // The coordinator must come back promptly, not after the child's 600s.
+  EXPECT_LT(timer.Seconds(), 30.0);
+  EXPECT_NE(DescribeTermination(r).find("deadline"), std::string::npos);
+}
+
+TEST(SubprocessTest, SpawnFailureIsReportedNotFatal) {
+  const Result r = RunOne(Command{{"/no/such/binary/anywhere"}}, 10);
+  // glibc posix_spawn reports exec failure directly; other libcs surface it
+  // as the conventional exit code 127. Accept either truthful report.
+  if (!r.spawned) {
+    EXPECT_FALSE(r.spawn_error.empty());
+    EXPECT_NE(DescribeTermination(r).find("spawn failed"), std::string::npos);
+  } else {
+    EXPECT_EQ(r.exit_code, 127);
+  }
+}
+
+TEST(SubprocessTest, ManyChildrenWithBulkOutputDoNotDeadlock) {
+  // Each child writes ~1 MiB — far past the 64 KiB pipe buffer — so this
+  // hangs forever unless the capture loop multiplexes across every child's
+  // pipe instead of draining them one at a time.
+  std::vector<Command> commands;
+  const int kChildren = 4;
+  for (int i = 0; i < kChildren; ++i) {
+    commands.push_back(
+        Sh("i=0; while [ $i -lt 1024 ]; do printf '%01024d' " +
+           std::to_string(i) + "; i=$((i+1)); done"));
+  }
+  const std::vector<Result> results = RunAll(commands, 60);
+  ASSERT_EQ(results.size(), static_cast<size_t>(kChildren));
+  for (const Result& r : results) {
+    EXPECT_TRUE(r.spawned);
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_EQ(r.stdout_data.size(), 1024u * 1024u);
+  }
+}
+
+TEST(SubprocessTest, MixedOutcomesStayIndependent) {
+  // One healthy child, one crasher, one straggler: the deadline kill and
+  // the crash must not disturb the healthy child's capture.
+  const std::vector<Result> results =
+      RunAll({Sh("printf healthy"), Sh("printf partial; kill -9 $$"),
+              Sh("sleep 600")},
+             1.0);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].exit_code, 0);
+  EXPECT_EQ(results[0].stdout_data, "healthy");
+  EXPECT_FALSE(results[0].timed_out);
+  EXPECT_TRUE(results[1].signaled);
+  EXPECT_EQ(results[1].stdout_data, "partial");
+  EXPECT_FALSE(results[1].timed_out);
+  EXPECT_TRUE(results[2].timed_out);
+}
+
+TEST(SubprocessTest, SelfExecutablePathResolves) {
+  const std::string self = SelfExecutablePath();
+  ASSERT_FALSE(self.empty());
+  EXPECT_NE(self.find("subprocess_test"), std::string::npos);
+}
+
+TEST(SubprocessTest, WallSecondsIsPopulated) {
+  const Result r = RunOne(Sh("sleep 0.2"), 30);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_GE(r.wall_seconds, 0.15);
+}
+
+}  // namespace
+}  // namespace subprocess
+}  // namespace mintri
