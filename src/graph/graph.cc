@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "graph/bitset_kernels.h"
+
 namespace mintri {
 
 Graph::Graph(int n) : n_(n), adjacency_(n, VertexSet(n)) {}
@@ -150,25 +152,20 @@ void ComponentScanner::ScanFrom(const Graph& g, const VertexSet& removed,
   const size_t words = component_.words_.size();
   while (true) {
     frontier_.ForEach([&](int u) { reach_.UnionWith(g.Neighbors(u)); });
-    // Fused level update, one pass over the words: fold the reach into the
-    // neighborhood accumulator, compute the next frontier (reached, not
-    // removed, not yet visited), and grow the component.
-    uint64_t any = 0;
-    for (size_t w = 0; w < words; ++w) {
-      const uint64_t r = reach_.words_[w];
-      neighborhood_.words_[w] |= r;  // accumulates ∪_{u∈C} N(u)
-      const uint64_t fresh =
-          r & ~removed.words_[w] & ~component_.words_[w];
-      component_.words_[w] |= fresh;
-      frontier_.words_[w] = fresh;
-      reach_.words_[w] = 0;
-      any |= fresh;
+    // Fused level update, one kernel pass over the words: fold the reach
+    // into the neighborhood accumulator (∪_{u∈C} N(u)), compute the next
+    // frontier (reached, not removed, not yet visited), and grow the
+    // component.
+    if (bitset::BfsFusedStep(component_.words_.data(),
+                             frontier_.words_.data(),
+                             neighborhood_.words_.data(), reach_.words_.data(),
+                             removed.words_.data(), words) == 0) {
+      break;
     }
-    if (any == 0) break;
   }
-  for (size_t w = 0; w < words; ++w) {
-    neighborhood_.words_[w] &= ~component_.words_[w];  // ∪N(u) \ C = N(C)
-  }
+  // ∪N(u) \ C = N(C).
+  bitset::MinusInto(neighborhood_.words_.data(), component_.words_.data(),
+                    words);
   component_.hash_valid_ = false;
   neighborhood_.hash_valid_ = false;
   frontier_.hash_valid_ = false;

@@ -1,6 +1,7 @@
 #include "graph/vertex_set.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace mintri {
 
@@ -37,88 +38,66 @@ void VertexSet::Reset(int capacity) {
 
 void VertexSet::ResetAll(int capacity) {
   capacity_ = capacity;
-  words_.assign((capacity + 63) / 64, ~uint64_t{0});
-  int extra = static_cast<int>(words_.size()) * 64 - capacity;
-  if (extra > 0 && !words_.empty()) {
-    words_.back() >>= extra;
-  }
+  words_.resize((capacity + 63) / 64);
+  bitset::FillOnes(words_.data(), words_.size(), bitset::TailMask(capacity));
   hash_valid_ = false;
 }
 
 void VertexSet::AssignUnionOf(const VertexSet& a, const VertexSet& b) {
-  assert(a.capacity_ == b.capacity_);
+  a.CheckSameCapacity(b, "AssignUnionOf");
   capacity_ = a.capacity_;
   words_.resize(a.words_.size());
-  for (size_t w = 0; w < words_.size(); ++w) {
-    words_[w] = a.words_[w] | b.words_[w];
-  }
+  bitset::AssignUnion(words_.data(), a.words_.data(), b.words_.data(),
+                      words_.size());
   hash_valid_ = false;
 }
 
 void VertexSet::AssignComplementOf(const VertexSet& s) {
   capacity_ = s.capacity_;
   words_.resize(s.words_.size());
-  for (size_t w = 0; w < words_.size(); ++w) words_[w] = ~s.words_[w];
-  int extra = static_cast<int>(words_.size()) * 64 - capacity_;
-  if (extra > 0 && !words_.empty()) {
-    words_.back() &= ~uint64_t{0} >> extra;
-  }
+  bitset::ComplementInto(words_.data(), s.words_.data(), words_.size(),
+                         bitset::TailMask(capacity_));
   hash_valid_ = false;
 }
 
 bool VertexSet::Empty() const {
-  for (uint64_t w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  return bitset::IsZero(words_.data(), words_.size());
 }
 
 int VertexSet::Count() const {
-  int c = 0;
-  for (uint64_t w : words_) c += __builtin_popcountll(w);
-  return c;
+  return bitset::Popcount(words_.data(), words_.size());
 }
 
 int VertexSet::First() const {
-  for (size_t w = 0; w < words_.size(); ++w) {
-    if (words_[w] != 0) {
-      return static_cast<int>(w * 64) + __builtin_ctzll(words_[w]);
-    }
-  }
-  return -1;
+  return bitset::FirstSet(words_.data(), words_.size());
 }
 
 bool VertexSet::IsSubsetOf(const VertexSet& other) const {
-  assert(capacity_ == other.capacity_);
-  for (size_t w = 0; w < words_.size(); ++w) {
-    if ((words_[w] & ~other.words_[w]) != 0) return false;
-  }
-  return true;
+  CheckSameCapacity(other, "IsSubsetOf");
+  return bitset::IsSubset(words_.data(), other.words_.data(), words_.size());
 }
 
 bool VertexSet::Intersects(const VertexSet& other) const {
-  assert(capacity_ == other.capacity_);
-  for (size_t w = 0; w < words_.size(); ++w) {
-    if ((words_[w] & other.words_[w]) != 0) return true;
-  }
-  return false;
+  CheckSameCapacity(other, "Intersects");
+  return bitset::Intersects(words_.data(), other.words_.data(),
+                            words_.size());
 }
 
 void VertexSet::UnionWith(const VertexSet& other) {
-  assert(capacity_ == other.capacity_);
-  for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  CheckSameCapacity(other, "UnionWith");
+  bitset::UnionInto(words_.data(), other.words_.data(), words_.size());
   hash_valid_ = false;
 }
 
 void VertexSet::IntersectWith(const VertexSet& other) {
-  assert(capacity_ == other.capacity_);
-  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  CheckSameCapacity(other, "IntersectWith");
+  bitset::IntersectInto(words_.data(), other.words_.data(), words_.size());
   hash_valid_ = false;
 }
 
 void VertexSet::MinusWith(const VertexSet& other) {
-  assert(capacity_ == other.capacity_);
-  for (size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  CheckSameCapacity(other, "MinusWith");
+  bitset::MinusInto(words_.data(), other.words_.data(), words_.size());
   hash_valid_ = false;
 }
 
@@ -141,8 +120,8 @@ VertexSet VertexSet::Minus(const VertexSet& other) const {
 }
 
 VertexSet VertexSet::Complement() const {
-  VertexSet s = All(capacity_);
-  s.MinusWith(*this);
+  VertexSet s;
+  s.AssignComplementOf(*this);
   return s;
 }
 
@@ -170,6 +149,15 @@ void VertexSet::RecomputeHash() const {
   ForEach([&](int v) { h ^= MixVertex(v); });
   hash_ = h;
   hash_valid_ = true;
+}
+
+void VertexSet::CapacityMismatch(const VertexSet& other,
+                                 const char* op) const {
+  std::fprintf(stderr,
+               "VertexSet capacity mismatch in %s: %d vs %d "
+               "(binary operations require one shared universe)\n",
+               op, capacity_, other.capacity_);
+  std::abort();
 }
 
 }  // namespace mintri

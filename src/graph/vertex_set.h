@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "graph/bitset_kernels.h"
+
 namespace mintri {
 
 /// A set of vertices over a fixed universe {0, ..., capacity-1}, stored as a
@@ -20,7 +22,11 @@ namespace mintri {
 /// arena, PMC dedup) key their hash tables on this cached value, so hashing a
 /// set that is repeatedly looked up costs one pass over its bits, once.
 ///
-/// All binary operations require both operands to share the same capacity.
+/// All binary operations require both operands to share the same capacity;
+/// a mismatch aborts with a diagnostic in every build type (not just when
+/// asserts are live — see CheckSameCapacity). The word loops themselves are
+/// delegated to graph/bitset_kernels.h, which dispatches between one shared
+/// scalar implementation and an AVX2 path at runtime.
 class VertexSet {
  public:
   /// Empty set over an empty universe.
@@ -72,6 +78,13 @@ class VertexSet {
     }
   }
   bool Contains(int v) const { return (words_[v >> 6] >> (v & 63)) & 1; }
+
+  /// Read-only view of the underlying words, low bit of word 0 = vertex 0.
+  /// Bits at positions >= capacity() are always zero. For the kernel layer's
+  /// tests and external word-parallel consumers; mutation stays inside the
+  /// class so the hash cache cannot be bypassed.
+  const uint64_t* word_data() const { return words_.data(); }
+  size_t word_count() const { return words_.size(); }
 
   bool Empty() const;
   int Count() const;
@@ -126,16 +139,26 @@ class VertexSet {
   /// Renders as "{v0,v1,...}".
   std::string ToString() const;
 
+  /// Equality of both the universe and the element set: sets over different
+  /// capacities are never equal, even when their words coincide. (The
+  /// capacity check comes first — it also guarantees equal word counts for
+  /// the word comparison.)
   bool operator==(const VertexSet& other) const {
+    if (capacity_ != other.capacity_) return false;
     if (hash_valid_ && other.hash_valid_ && hash_ != other.hash_) {
       return false;
     }
-    return words_ == other.words_;
+    return bitset::Equal(words_.data(), other.words_.data(), words_.size());
   }
   bool operator!=(const VertexSet& other) const { return !(*this == other); }
-  /// Total order (by size of words then lexicographic), suitable for std::map
-  /// keys and canonical sorting.
+  /// Total order — by capacity first, then lexicographic on the words —
+  /// suitable for std::map keys and canonical sorting. Comparing capacity
+  /// first keeps the order consistent with operator== for mixed-universe
+  /// sets (equal-word sets over different universes are unequal and must
+  /// not compare equivalent); within one universe (the canonical-sort case
+  /// everywhere in the library) it is plain lexicographic order.
   bool operator<(const VertexSet& other) const {
+    if (capacity_ != other.capacity_) return capacity_ < other.capacity_;
     return words_ < other.words_;
   }
 
@@ -151,6 +174,18 @@ class VertexSet {
   // raw words (and re-flags the hash cache itself).
   friend class ComponentScanner;
 
+  // Aborts with a diagnostic when a binary operation mixes universes. This
+  // is the checked policy for the capacity precondition: always on, in
+  // Release and sanitizer builds alike — one predicted-not-taken integer
+  // compare ahead of a multi-word kernel is noise, and a silent mixed-
+  // capacity word loop is a determinism bug factory. (Defined out of line
+  // in vertex_set.cc so the cold abort path stays off the fast path.)
+  void CheckSameCapacity(const VertexSet& other, const char* op) const {
+    if (capacity_ != other.capacity_) CapacityMismatch(other, op);
+  }
+  [[noreturn]] void CapacityMismatch(const VertexSet& other,
+                                     const char* op) const;
+
   static uint64_t MixVertex(int v) {
     // SplitMix64 finalizer: decorrelates nearby vertex ids.
     uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
@@ -164,7 +199,10 @@ class VertexSet {
   static constexpr uint64_t kEmptyHash = 0xcbf29ce484222325ULL;
 
   int capacity_ = 0;
-  std::vector<uint64_t> words_;
+  // Cache-line-aligned storage: every word buffer — including the arena
+  // entries held by value in VertexSetTable / ShardedVertexSetTable —
+  // starts on a 64-byte boundary, so multi-word kernels begin aligned.
+  bitset::WordVector words_;
   mutable uint64_t hash_ = kEmptyHash;
   mutable bool hash_valid_ = true;
 };

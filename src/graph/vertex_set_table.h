@@ -18,6 +18,14 @@ namespace mintri {
 /// per shard, under the shard's lock. Keeping both on this single class
 /// means probing/growth policy can never silently diverge between the
 /// serial and parallel paths.
+///
+/// Layout: arena entries are VertexSets held by value, and VertexSet's
+/// word storage is a bitset::WordVector, so every entry's word buffer is
+/// 64-byte-aligned — the word-parallel equality probe below (and every
+/// kernel a caller later runs over an arena entry) starts on a cache-line
+/// boundary. Probe misses are rejected by the cached 64-bit hash before
+/// any words are touched; equality itself is capacity-aware (sets over
+/// different universes never collide into one entry).
 class VertexSetTable {
  public:
   /// Slot storage is allocated on the first Insert (an empty table costs

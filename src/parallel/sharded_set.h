@@ -58,7 +58,12 @@ class ShardedVertexSetTable {
   std::vector<VertexSet> TakeAll();
 
  private:
-  struct Shard {
+  // One cache line (or more) per shard: the mutexes of neighboring shards
+  // must not share a line, or every lock/unlock would ping-pong the line
+  // between threads that never actually contend. The arena entries inside
+  // each table carry their own 64-byte alignment via VertexSet's
+  // bitset::WordVector storage.
+  struct alignas(64) Shard {
     mutable std::mutex mutex;
     VertexSetTable table;
   };

@@ -1,0 +1,398 @@
+// Differential tests for the bitset kernel layer: the scalar reference
+// implementation is the ground truth, and every other way of running a
+// kernel — the AVX2 path (when this binary carries it and the CPU can run
+// it) and the runtime-dispatched entry points — must be byte-identical to
+// it over a randomized matrix of capacities, including non-multiple-of-64
+// ones, plus adversarial patterns (all-zero, all-ones, equal, subset).
+// VertexSet-level regressions ride along: tail-word hygiene after
+// ResetAll/AssignComplementOf, hash-cache invalidation after each
+// word-parallel kernel, and the cache-line alignment guarantee.
+
+#include "graph/bitset_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/vertex_set.h"
+#include "util/rng.h"
+
+namespace mintri {
+namespace {
+
+using Words = std::vector<uint64_t>;
+
+constexpr int kCapacities[] = {1, 63, 64, 65, 640, 1000};
+constexpr int kRandomReps = 64;
+
+size_t WordsFor(int capacity) { return (capacity + 63) / 64; }
+
+Words RandomWords(Rng* rng, int capacity, double density) {
+  Words w(WordsFor(capacity), 0);
+  for (auto& word : w) {
+    // Byte-granular density mask over random bits, so low/high densities
+    // produce runs and gaps rather than uniform noise.
+    uint64_t byte_mask = 0;
+    for (int b = 0; b < 8; ++b) {
+      if (rng->NextBool(density)) byte_mask |= uint64_t{0xff} << (b * 8);
+    }
+    word = byte_mask & rng->Next();
+  }
+  w.back() &= bitset::TailMask(capacity);
+  return w;
+}
+
+// Runs `check(a, b)` over the randomized pattern matrix for one capacity:
+// independent random pairs at several densities, equal pairs, subset
+// pairs, and the all-zero / all-ones extremes.
+template <typename Check>
+void ForEachPair(int capacity, const Check& check) {
+  Rng rng(0x5eedu + capacity);
+  for (int rep = 0; rep < kRandomReps; ++rep) {
+    const double density = rep % 3 == 0 ? 0.05 : (rep % 3 == 1 ? 0.5 : 0.95);
+    Words a = RandomWords(&rng, capacity, density);
+    Words b = RandomWords(&rng, capacity, density);
+    check(a, b);
+    check(a, a);  // equal operands
+    Words sub = a;
+    bitset::scalar::IntersectInto(sub.data(), b.data(), sub.size());
+    check(sub, a);  // sub ⊆ a
+  }
+  const Words zero(WordsFor(capacity), 0);
+  Words ones(WordsFor(capacity), 0);
+  bitset::scalar::FillOnes(ones.data(), ones.size(),
+                           bitset::TailMask(capacity));
+  check(zero, ones);
+  check(ones, zero);
+  check(zero, zero);
+  check(ones, ones);
+}
+
+// The differential harness: every mutating kernel is run on copies through
+// each path, every predicate/reduction is compared by value.
+struct KernelPaths {
+  const char* name;
+  void (*union_into)(uint64_t*, const uint64_t*, size_t);
+  void (*assign_union)(uint64_t*, const uint64_t*, const uint64_t*, size_t);
+  void (*intersect_into)(uint64_t*, const uint64_t*, size_t);
+  void (*minus_into)(uint64_t*, const uint64_t*, size_t);
+  void (*complement_into)(uint64_t*, const uint64_t*, size_t, uint64_t);
+  void (*fill_ones)(uint64_t*, size_t, uint64_t);
+  bool (*is_zero)(const uint64_t*, size_t);
+  bool (*equal)(const uint64_t*, const uint64_t*, size_t);
+  bool (*is_subset)(const uint64_t*, const uint64_t*, size_t);
+  bool (*intersects)(const uint64_t*, const uint64_t*, size_t);
+  int (*popcount)(const uint64_t*, size_t);
+  int (*first_set)(const uint64_t*, size_t);
+  uint64_t (*bfs_fused_step)(uint64_t*, uint64_t*, uint64_t*, uint64_t*,
+                             const uint64_t*, size_t);
+};
+
+const KernelPaths kScalarPaths = {
+    "scalar",
+    bitset::scalar::UnionInto,
+    bitset::scalar::AssignUnion,
+    bitset::scalar::IntersectInto,
+    bitset::scalar::MinusInto,
+    bitset::scalar::ComplementInto,
+    bitset::scalar::FillOnes,
+    bitset::scalar::IsZero,
+    bitset::scalar::Equal,
+    bitset::scalar::IsSubset,
+    bitset::scalar::Intersects,
+    bitset::scalar::Popcount,
+    bitset::scalar::FirstSet,
+    bitset::scalar::BfsFusedStep,
+};
+
+const KernelPaths kDispatchedPaths = {
+    "dispatched",
+    bitset::UnionInto,
+    bitset::AssignUnion,
+    bitset::IntersectInto,
+    bitset::MinusInto,
+    bitset::ComplementInto,
+    bitset::FillOnes,
+    bitset::IsZero,
+    bitset::Equal,
+    bitset::IsSubset,
+    bitset::Intersects,
+    bitset::Popcount,
+    bitset::FirstSet,
+    bitset::BfsFusedStep,
+};
+
+#if MINTRI_HAVE_AVX2_KERNELS
+const KernelPaths kAvx2Paths = {
+    "avx2",
+    bitset::avx2::UnionInto,
+    bitset::avx2::AssignUnion,
+    bitset::avx2::IntersectInto,
+    bitset::avx2::MinusInto,
+    bitset::avx2::ComplementInto,
+    bitset::avx2::FillOnes,
+    bitset::avx2::IsZero,
+    bitset::avx2::Equal,
+    bitset::avx2::IsSubset,
+    bitset::avx2::Intersects,
+    bitset::avx2::Popcount,
+    bitset::avx2::FirstSet,
+    bitset::avx2::BfsFusedStep,
+};
+#endif  // MINTRI_HAVE_AVX2_KERNELS
+
+// Compares `paths` against the scalar reference over the full matrix.
+void RunDifferential(const KernelPaths& paths) {
+  for (int capacity : kCapacities) {
+    SCOPED_TRACE(testing::Message()
+                 << paths.name << " vs scalar, capacity " << capacity);
+    const size_t n = WordsFor(capacity);
+    const uint64_t tail = bitset::TailMask(capacity);
+    ForEachPair(capacity, [&](const Words& a, const Words& b) {
+      {
+        Words got = a, want = a;
+        paths.union_into(got.data(), b.data(), n);
+        kScalarPaths.union_into(want.data(), b.data(), n);
+        EXPECT_EQ(got, want);
+      }
+      {
+        Words got(n, 0xdeadbeefu), want(n, 0xdeadbeefu);
+        paths.assign_union(got.data(), a.data(), b.data(), n);
+        kScalarPaths.assign_union(want.data(), a.data(), b.data(), n);
+        EXPECT_EQ(got, want);
+      }
+      {
+        Words got = a, want = a;
+        paths.intersect_into(got.data(), b.data(), n);
+        kScalarPaths.intersect_into(want.data(), b.data(), n);
+        EXPECT_EQ(got, want);
+      }
+      {
+        Words got = a, want = a;
+        paths.minus_into(got.data(), b.data(), n);
+        kScalarPaths.minus_into(want.data(), b.data(), n);
+        EXPECT_EQ(got, want);
+      }
+      {
+        Words got(n, 0), want(n, 0);
+        paths.complement_into(got.data(), a.data(), n, tail);
+        kScalarPaths.complement_into(want.data(), a.data(), n, tail);
+        EXPECT_EQ(got, want);
+        // Tail hygiene: bits above the capacity must come out zero.
+        EXPECT_EQ(got.back() & ~tail, 0u);
+      }
+      {
+        Words got(n, 0), want(n, 0);
+        paths.fill_ones(got.data(), n, tail);
+        kScalarPaths.fill_ones(want.data(), n, tail);
+        EXPECT_EQ(got, want);
+        EXPECT_EQ(got.back() & ~tail, 0u);
+      }
+      EXPECT_EQ(paths.is_zero(a.data(), n), kScalarPaths.is_zero(a.data(), n));
+      EXPECT_EQ(paths.equal(a.data(), b.data(), n),
+                kScalarPaths.equal(a.data(), b.data(), n));
+      EXPECT_EQ(paths.is_subset(a.data(), b.data(), n),
+                kScalarPaths.is_subset(a.data(), b.data(), n));
+      EXPECT_EQ(paths.intersects(a.data(), b.data(), n),
+                kScalarPaths.intersects(a.data(), b.data(), n));
+      EXPECT_EQ(paths.popcount(a.data(), n),
+                kScalarPaths.popcount(a.data(), n));
+      EXPECT_EQ(paths.first_set(a.data(), n),
+                kScalarPaths.first_set(a.data(), n));
+      {
+        // BFS step: a=reach, b=removed, component seeded with a ∩ b so the
+        // step sees a mix of already-visited, removed, and fresh bits.
+        Words comp = a;
+        kScalarPaths.intersect_into(comp.data(), b.data(), n);
+        Words comp_g = comp, comp_w = comp;
+        Words front_g(n, 0), front_w(n, 0);
+        Words nb_g = b, nb_w = b;
+        Words reach_g = a, reach_w = a;
+        const uint64_t any_g =
+            paths.bfs_fused_step(comp_g.data(), front_g.data(), nb_g.data(),
+                                 reach_g.data(), b.data(), n);
+        const uint64_t any_w = kScalarPaths.bfs_fused_step(
+            comp_w.data(), front_w.data(), nb_w.data(), reach_w.data(),
+            b.data(), n);
+        EXPECT_EQ(any_g != 0, any_w != 0);
+        EXPECT_EQ(comp_g, comp_w);
+        EXPECT_EQ(front_g, front_w);
+        EXPECT_EQ(nb_g, nb_w);
+        EXPECT_EQ(reach_g, reach_w);
+      }
+    });
+  }
+}
+
+TEST(BitsetKernelsTest, DispatchedMatchesScalarEverywhere) {
+  RunDifferential(kDispatchedPaths);
+}
+
+#if MINTRI_HAVE_AVX2_KERNELS
+TEST(BitsetKernelsTest, Avx2MatchesScalarEverywhere) {
+  if (!bitset::CpuHasAvx2()) {
+    GTEST_SKIP() << "CPU lacks AVX2; the avx2:: path cannot execute here";
+  }
+  RunDifferential(kAvx2Paths);
+}
+#endif  // MINTRI_HAVE_AVX2_KERNELS
+
+TEST(BitsetKernelsTest, DispatchReportsAConsistentPath) {
+  if (bitset::UsingAvx2()) {
+    EXPECT_TRUE(bitset::CompiledWithAvx2Kernels());
+    EXPECT_TRUE(bitset::CpuHasAvx2());
+    EXPECT_STREQ(bitset::ActiveKernelPath(), "avx2");
+  } else {
+    EXPECT_STREQ(bitset::ActiveKernelPath(), "scalar");
+  }
+}
+
+TEST(BitsetKernelsTest, TailMask) {
+  EXPECT_EQ(bitset::TailMask(64), ~uint64_t{0});
+  EXPECT_EQ(bitset::TailMask(128), ~uint64_t{0});
+  EXPECT_EQ(bitset::TailMask(1), uint64_t{1});
+  EXPECT_EQ(bitset::TailMask(63), ~uint64_t{0} >> 1);
+  EXPECT_EQ(bitset::TailMask(65), uint64_t{1});
+}
+
+TEST(BitsetKernelsTest, AlignWordsRoundsToCacheLines) {
+  EXPECT_EQ(bitset::AlignWords(0), 0u);
+  EXPECT_EQ(bitset::AlignWords(1), 8u);
+  EXPECT_EQ(bitset::AlignWords(8), 8u);
+  EXPECT_EQ(bitset::AlignWords(9), 16u);
+}
+
+// --- VertexSet-level regressions over the kernel layer -------------------
+
+TEST(BitsetKernelsTest, WordStorageIsCacheLineAlignedFromSimdThresholdUp) {
+  // The allocator only promises 64-byte alignment for buffers wide enough
+  // to reach the SIMD path (>= kSimdMinWords words); narrower buffers
+  // take the default allocator's fast path on purpose.
+  for (int capacity : kCapacities) {
+    VertexSet s(capacity);
+    if (s.word_count() < bitset::kSimdMinWords) continue;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(s.word_data()) % 64, 0u)
+        << "capacity " << capacity;
+  }
+  bitset::WordVector packed(123, 0);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(packed.data()) % 64, 0u);
+  using Alloc = bitset::AlignedAllocator<uint64_t, 64>;
+  EXPECT_FALSE(Alloc::WantsAlignment(3));
+  EXPECT_TRUE(Alloc::WantsAlignment(4));
+}
+
+TEST(BitsetKernelsTest, ResetAllAndComplementKeepTailBitsZero) {
+  for (int capacity : kCapacities) {
+    SCOPED_TRACE(testing::Message() << "capacity " << capacity);
+    VertexSet s;
+    s.ResetAll(capacity);
+    EXPECT_EQ(s.Count(), capacity);
+    EXPECT_EQ(s.word_data()[s.word_count() - 1] &
+                  ~bitset::TailMask(capacity),
+              0u);
+
+    VertexSet c;
+    c.AssignComplementOf(VertexSet(capacity));  // complement of empty = all
+    EXPECT_EQ(c, s);
+    EXPECT_EQ(c.word_data()[c.word_count() - 1] &
+                  ~bitset::TailMask(capacity),
+              0u);
+
+    // Complement of the full set is empty — any stray tail bit would make
+    // this nonzero.
+    VertexSet e;
+    e.AssignComplementOf(s);
+    EXPECT_TRUE(e.Empty());
+    EXPECT_EQ(e.Count(), 0);
+  }
+}
+
+// Every word-parallel mutator must leave the cached hash either valid and
+// correct or invalidated; equal element sets built through different
+// operation sequences must agree on Hash().
+TEST(BitsetKernelsTest, HashCacheSurvivesEveryWordParallelKernel) {
+  for (int capacity : kCapacities) {
+    SCOPED_TRACE(testing::Message() << "capacity " << capacity);
+    Rng rng(0xabcdu + capacity);
+    for (int rep = 0; rep < 8; ++rep) {
+      VertexSet a(capacity), b(capacity);
+      for (int v = 0; v < capacity; ++v) {
+        if (rng.NextBool(0.3)) a.Insert(v);
+        if (rng.NextBool(0.3)) b.Insert(v);
+      }
+      const auto check = [&](VertexSet s) {
+        (void)s.Hash();  // warm the cache so staleness would be visible
+        return s;
+      };
+
+      VertexSet u = check(a);
+      u.UnionWith(b);
+      EXPECT_EQ(u.Hash(), VertexSet::FromVector(capacity, u.ToVector()).Hash());
+
+      VertexSet i = check(a);
+      i.IntersectWith(b);
+      EXPECT_EQ(i.Hash(), VertexSet::FromVector(capacity, i.ToVector()).Hash());
+
+      VertexSet m = check(a);
+      m.MinusWith(b);
+      EXPECT_EQ(m.Hash(), VertexSet::FromVector(capacity, m.ToVector()).Hash());
+
+      VertexSet au = check(a);
+      au.AssignUnionOf(a, b);
+      EXPECT_EQ(au.Hash(),
+                VertexSet::FromVector(capacity, au.ToVector()).Hash());
+
+      VertexSet ac = check(a);
+      ac.AssignComplementOf(a);
+      EXPECT_EQ(ac.Hash(),
+                VertexSet::FromVector(capacity, ac.ToVector()).Hash());
+
+      VertexSet ra = check(a);
+      ra.ResetAll(capacity);
+      EXPECT_EQ(ra.Hash(), VertexSet::All(capacity).Hash());
+    }
+  }
+}
+
+// VertexSet algebra must agree with the scalar kernels bit for bit, no
+// matter which path dispatch takes underneath.
+TEST(BitsetKernelsTest, VertexSetAlgebraMatchesScalarKernels) {
+  for (int capacity : kCapacities) {
+    SCOPED_TRACE(testing::Message() << "capacity " << capacity);
+    Rng rng(0xf00du + capacity);
+    for (int rep = 0; rep < 8; ++rep) {
+      VertexSet a(capacity), b(capacity);
+      for (int v = 0; v < capacity; ++v) {
+        if (rng.NextBool(0.4)) a.Insert(v);
+        if (rng.NextBool(0.4)) b.Insert(v);
+      }
+      const size_t n = a.word_count();
+
+      Words want(a.word_data(), a.word_data() + n);
+      bitset::scalar::UnionInto(want.data(), b.word_data(), n);
+      VertexSet u = a.Union(b);
+      EXPECT_TRUE(bitset::scalar::Equal(u.word_data(), want.data(), n));
+
+      want.assign(a.word_data(), a.word_data() + n);
+      bitset::scalar::IntersectInto(want.data(), b.word_data(), n);
+      VertexSet i = a.Intersect(b);
+      EXPECT_TRUE(bitset::scalar::Equal(i.word_data(), want.data(), n));
+
+      want.assign(a.word_data(), a.word_data() + n);
+      bitset::scalar::MinusInto(want.data(), b.word_data(), n);
+      VertexSet m = a.Minus(b);
+      EXPECT_TRUE(bitset::scalar::Equal(m.word_data(), want.data(), n));
+
+      EXPECT_EQ(a.IsSubsetOf(b), bitset::scalar::IsSubset(
+                                     a.word_data(), b.word_data(), n));
+      EXPECT_EQ(a.Intersects(b), bitset::scalar::Intersects(
+                                     a.word_data(), b.word_data(), n));
+      EXPECT_EQ(a.Count(), bitset::scalar::Popcount(a.word_data(), n));
+      EXPECT_EQ(a.First(), bitset::scalar::FirstSet(a.word_data(), n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mintri

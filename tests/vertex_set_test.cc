@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <set>
 
 namespace mintri {
@@ -146,6 +147,57 @@ TEST(VertexSetTest, ResetAndAssignHelpers) {
   VertexSet u;
   u.AssignUnionOf(VertexSet::Of(70, {3, 69}), VertexSet::Of(70, {4}));
   EXPECT_EQ(u, VertexSet::Of(70, {3, 4, 69}));
+}
+
+TEST(VertexSetTest, EqualityIsCapacityAware) {
+  // Regression: equal-word sets over different universes used to compare
+  // equal (operator== never looked at the capacity). {0} over 64 vertices
+  // and {0} over 70 vertices have identical words but are different sets.
+  EXPECT_NE(VertexSet::Of(64, {0}), VertexSet::Of(70, {0}));
+  EXPECT_NE(VertexSet(3), VertexSet(4));
+  EXPECT_EQ(VertexSet::Of(70, {0}), VertexSet::Of(70, {0}));
+  // Same capacity, different word paths, still equal.
+  VertexSet s(70);
+  s.Insert(0);
+  EXPECT_EQ(s, VertexSet::Of(70, {0}));
+}
+
+TEST(VertexSetTest, OrderingIsATotalOrderAcrossMixedWordCounts) {
+  // Regression: operator< documented "size of words then lexicographic"
+  // but compared purely lexicographically, so {0}/64 and {0}/70 (identical
+  // words, different universes) were mutually un-ordered yet un-equal
+  // under the capacity-aware operator==. Capacity now orders first.
+  const VertexSet sets[] = {
+      VertexSet(3),           VertexSet::Of(10, {1}),
+      VertexSet::Of(64, {0}), VertexSet::Of(70, {0}),
+      VertexSet::Of(70, {1}), VertexSet::Of(128, {0}),
+      VertexSet::Of(128, {0, 64}),
+  };
+  for (const VertexSet& a : sets) {
+    for (const VertexSet& b : sets) {
+      // Trichotomy: exactly one of a<b, b<a, a==b.
+      const int ways = (a < b ? 1 : 0) + (b < a ? 1 : 0) + (a == b ? 1 : 0);
+      EXPECT_EQ(ways, 1) << a.ToString() << " vs " << b.ToString();
+    }
+  }
+  // The documented order: capacity first, then lexicographic on words.
+  EXPECT_LT(VertexSet::Of(64, {0}), VertexSet::Of(70, {0}));
+  EXPECT_LT(VertexSet::Of(70, {0}), VertexSet::Of(70, {1}));
+  std::set<VertexSet> mixed(std::begin(sets), std::end(sets));
+  EXPECT_EQ(mixed.size(), std::size(sets));
+}
+
+TEST(VertexSetDeathTest, MixedCapacityOperationsAbortInEveryBuild) {
+  // The capacity precondition is a checked policy, not a debug-only
+  // assert: Release builds abort too.
+  VertexSet a = VertexSet::Of(64, {0});
+  const VertexSet b = VertexSet::Of(70, {0});
+  EXPECT_DEATH(a.UnionWith(b), "capacity mismatch in UnionWith");
+  EXPECT_DEATH(a.IntersectWith(b), "capacity mismatch in IntersectWith");
+  EXPECT_DEATH(a.MinusWith(b), "capacity mismatch in MinusWith");
+  EXPECT_DEATH((void)a.IsSubsetOf(b), "capacity mismatch in IsSubsetOf");
+  EXPECT_DEATH((void)a.Intersects(b), "capacity mismatch in Intersects");
+  EXPECT_DEATH(a.AssignUnionOf(a, b), "capacity mismatch in AssignUnionOf");
 }
 
 TEST(VertexSetTest, ForEachWhileStopsEarly) {
