@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Diff two BENCH_core.json reports and flag performance regressions.
 
-Usage: bench_diff.py [--threshold=PCT] BASELINE.json CURRENT.json
+Usage: bench_diff.py [--threshold=PCT] [--json=FILE] BASELINE.json CURRENT.json
 
 Matches entries across the two reports on (suite, graph, threads, solver,
 cost), groups the matches by (suite, family), and prints a markdown delta
@@ -13,9 +13,16 @@ table of per-family median ratios:
                       timer noise.
   * cache_hit_rate  — informational only (absolute delta).
 
+With --json=FILE the same per-family rows (plus the git shas, threshold,
+and match counts) are additionally written to FILE as one machine-readable
+JSON document, so CI can upload the delta as an artifact and the cross-PR
+perf trajectory can be assembled by concatenating those files instead of
+re-parsing markdown tables.
+
 Exit status: 0 when no family regresses past the threshold (default 25%),
 1 when at least one does, 2 on usage/IO errors or when the two reports
-share no entries at all (e.g. diffing unrelated artifacts).
+share no entries at all (e.g. diffing unrelated artifacts). --json output
+is written for statuses 0 and 1 (a regression is still a valid delta).
 
 Both schema_version 1 and 2 reports load; v1 entries simply key with empty
 solver/cost fields, so a v1-vs-v2 diff degrades to the overlapping subset
@@ -159,6 +166,24 @@ def render_markdown(result, base_report, new_report, threshold_pct):
     return "\n".join(lines) + "\n"
 
 
+def render_json(result, base_report, new_report, threshold_pct):
+    """The machine-readable twin of render_markdown: same rows, plus the
+    identifying metadata a trajectory collector needs. `reasons` is kept
+    verbatim so a regression's verdict survives the round-trip."""
+    return {
+        "schema_version": 1,
+        "kind": "bench_diff",
+        "base_git_sha": base_report.get("git_sha", ""),
+        "new_git_sha": new_report.get("git_sha", ""),
+        "threshold_pct": threshold_pct,
+        "matched": result["matched"],
+        "base_only": result["base_only"],
+        "new_only": result["new_only"],
+        "regressed": bool(result["regressions"]),
+        "families": result["rows"],
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Diff two BENCH_core.json reports.")
@@ -167,6 +192,9 @@ def main(argv=None):
     parser.add_argument("--threshold", type=float, default=25.0,
                         metavar="PCT",
                         help="regression gate in percent (default 25)")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the per-family delta as JSON to "
+                             "FILE (written on exit status 0 and 1)")
     try:
         args = parser.parse_args(argv)
     except SystemExit:
@@ -190,6 +218,16 @@ def main(argv=None):
 
     sys.stdout.write(
         render_markdown(result, base_report, new_report, args.threshold))
+    if args.json is not None:
+        doc = render_json(result, base_report, new_report, args.threshold)
+        try:
+            with open(args.json, "w") as f:
+                json.dump(doc, f, indent=2)
+                f.write("\n")
+        except OSError as e:
+            print(f"bench_diff: FAIL: cannot write {args.json}: {e}",
+                  file=sys.stderr)
+            return 2
     if result["regressions"]:
         names = ", ".join(r["family"] for r in result["regressions"])
         print(f"bench_diff: REGRESSION in {names}", file=sys.stderr)

@@ -136,5 +136,58 @@ class MainTest(unittest.TestCase):
             run_main([BASE_V2, BASE_V2, "--threshold=100"])[0], 2)
 
 
+class JsonOutputTest(unittest.TestCase):
+    def run_with_json(self, argv):
+        import json
+        import tempfile
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bench_diff.json")
+            code, out, err = run_main(argv + [f"--json={path}"])
+            doc = None
+            if os.path.exists(path):
+                with open(path) as f:
+                    doc = json.load(f)
+            return code, out, err, doc
+
+    def test_json_mirrors_the_markdown_rows(self):
+        code, out, _, doc = self.run_with_json([BASE_V2, BASE_V2])
+        self.assertEqual(code, 0)
+        self.assertIn("| family |", out)  # markdown still printed
+        self.assertIsNotNone(doc)
+        self.assertEqual(doc["kind"], "bench_diff")
+        self.assertEqual(doc["schema_version"], 1)
+        self.assertFalse(doc["regressed"])
+        self.assertEqual(doc["matched"], 7)
+        families = {row["family"] for row in doc["families"]}
+        self.assertIn("minseps/rand", families)
+        self.assertIn("ranked/grid", families)
+        for row in doc["families"]:
+            # Identical reports: every measured ratio is exactly 1.0.
+            if row["throughput_ratio"] is not None:
+                self.assertAlmostEqual(row["throughput_ratio"], 1.0)
+            self.assertEqual(row["reasons"], [])
+
+    def test_json_written_on_regression_with_reasons(self):
+        code, _, _, doc = self.run_with_json([BASE_V2, REGRESSED_V2])
+        self.assertEqual(code, 1)
+        self.assertIsNotNone(doc)
+        self.assertTrue(doc["regressed"])
+        reasons = [r for row in doc["families"] for r in row["reasons"]]
+        self.assertTrue(any("throughput" in r for r in reasons))
+
+    def test_json_records_both_shas_and_threshold(self):
+        _, _, _, doc = self.run_with_json(
+            [BASE_V2, REGRESSED_V2, "--threshold=60"])
+        self.assertEqual(doc["threshold_pct"], 60.0)
+        self.assertEqual(doc["base_git_sha"],
+                         bench_diff.load_report(BASE_V2).get("git_sha", ""))
+
+    def test_unwritable_json_path_is_a_usage_error(self):
+        code, _, err = run_main(
+            [BASE_V2, BASE_V2, "--json=/no/such/dir/out.json"])
+        self.assertEqual(code, 2)
+        self.assertIn("cannot write", err)
+
+
 if __name__ == "__main__":
     unittest.main()

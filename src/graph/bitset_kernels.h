@@ -36,14 +36,16 @@
 //     to the scalar path in an AVX2-capable binary (used by the
 //     differential tests to cover both sides in one process).
 //
-// Alignment: VertexSet stores its words in a WordVector (below), whose
-// allocator returns 64-byte-aligned buffers for any allocation of at
-// least kSimdMinWords words — so every buffer the AVX2 path can actually
-// touch starts on a cache-line boundary, including the separator/PMC
-// arena entries behind VertexSetTable and ShardedVertexSetTable, which
-// hold VertexSets by value. Sub-threshold buffers (graphs under 193
-// vertices, which only ever run the scalar kernels) deliberately take
-// the default allocator's small-size fast path instead: measured on the
+// Alignment: VertexSet stores its words in a WordStorage (below): up to
+// 2 words inline in the object (small-buffer optimization — no heap
+// traffic at all for graphs up to 128 vertices, which only ever run the
+// scalar kernels), heap above, where the allocator returns 64-byte-
+// aligned buffers for any allocation of at least kSimdMinWords words —
+// so every buffer the AVX2 path can actually touch starts on a
+// cache-line boundary, including the separator/PMC arena entries behind
+// VertexSetTable and ShardedVertexSetTable, which hold VertexSets by
+// value. Sub-threshold heap buffers (3 words) deliberately take the
+// default allocator's small-size fast path instead: measured on the
 // bench families, unconditional aligned allocation cost ~3x per
 // alloc/free and showed up as a double-digit throughput loss on the
 // small-universe suites. The kernels themselves use unaligned loads and
@@ -130,10 +132,155 @@ class AlignedAllocator {
   }
 };
 
-/// The word-buffer type behind VertexSet and the PmcTester cover bitmap:
+/// The word-buffer type behind multi-row bitmaps (the PmcTester cover):
 /// cache-line-aligned from 4 words up (the SIMD dispatch threshold),
-/// default-allocated below it — see AlignedAllocator.
+/// default-allocated below it — see AlignedAllocator. Single-set storage
+/// lives in WordStorage below instead, which adds a small-buffer fast path.
 using WordVector = std::vector<uint64_t, AlignedAllocator<uint64_t, 64>>;
+
+/// Small-buffer word storage: the buffer behind VertexSet. Up to
+/// kInlineWords words (128 vertices — which covers every bundled bench
+/// family) live inline in the object, so constructing, copying, moving, or
+/// destroying a small set never touches the allocator; PR 8's A/B runs
+/// measured the small-universe enumeration suites as allocation- and
+/// table-bound, and this is the allocation half of that fix. Wider
+/// universes spill to a heap buffer obtained through AlignedAllocator,
+/// preserving the alignment-from-threshold policy: every spilled buffer of
+/// at least kSimdMinWords words is 64-byte-aligned (exactly the buffers the
+/// AVX2 kernels can dispatch on), while 3-word spills take the default
+/// allocator's small-size fast path. Inline buffers are only 8-byte-aligned,
+/// which is safe: at <= 2 words they are below the dispatch threshold and
+/// only ever run the scalar kernels.
+///
+/// Mirrors the std::vector subset VertexSet needs (data/size/operator[]/
+/// assign/resize/lexicographic compare). Like vector::assign, shrinking
+/// reuses the existing buffer: a set that spilled once keeps its heap
+/// buffer until destroyed or moved from, so Reset-style scratch reuse stays
+/// allocation-free in steady state.
+class WordStorage {
+ public:
+  /// 2 words = 128 vertices inline. One word would already cover most
+  /// bench graphs, but the second costs only 8 bytes of object and keeps
+  /// the whole <= 128-vertex regime (and the 65..128 half of it that the
+  /// fuzz corpus exercises) off the allocator.
+  static constexpr size_t kInlineWords = 2;
+
+  WordStorage() = default;
+  WordStorage(size_t n, uint64_t value) { assign(n, value); }
+
+  WordStorage(const WordStorage& other) { CopyFrom(other); }
+  WordStorage& operator=(const WordStorage& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  WordStorage(WordStorage&& other) noexcept { StealFrom(other); }
+  WordStorage& operator=(WordStorage&& other) noexcept {
+    if (this != &other) {
+      ReleaseHeap();
+      StealFrom(other);
+    }
+    return *this;
+  }
+
+  ~WordStorage() { ReleaseHeap(); }
+
+  uint64_t* data() { return data_; }
+  const uint64_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  uint64_t& operator[](size_t i) { return data_[i]; }
+  const uint64_t& operator[](size_t i) const { return data_[i]; }
+
+  /// True while the words live inside the object (no heap buffer was ever
+  /// needed). Exposed so the spill-boundary tests can pin the storage
+  /// class, not just the values.
+  bool is_inline() const { return data_ == inline_; }
+
+  /// Moves the words onto a heap buffer even when they fit inline, keeping
+  /// the values. Idempotent; one allocation for the lifetime of the
+  /// storage (assign/resize reuse the heap buffer afterwards). See
+  /// VertexSet::PinWordsToHeap for when this is a win.
+  void force_heap() {
+    if (data_ != inline_) return;
+    uint64_t* fresh = Alloc().allocate(kInlineWords);
+    for (size_t w = 0; w < size_; ++w) fresh[w] = inline_[w];
+    data_ = fresh;
+    cap_ = kInlineWords;
+  }
+
+  /// Sets every one of n words to `value`, reusing the current buffer when
+  /// it is large enough (vector::assign semantics).
+  void assign(size_t n, uint64_t value) {
+    if (n > cap_) Reallocate(n, /*preserve_words=*/0);
+    for (size_t w = 0; w < n; ++w) data_[w] = value;
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  /// Grows or shrinks to n words; new words are zero, kept words preserve
+  /// their values (vector::resize semantics — spilling across the inline
+  /// boundary copies the inline words into the fresh heap buffer).
+  void resize(size_t n) {
+    if (n > cap_) Reallocate(n, /*preserve_words=*/size_);
+    for (size_t w = size_; w < n; ++w) data_[w] = 0;
+    size_ = static_cast<uint32_t>(n);
+  }
+
+  /// Lexicographic word order (the vector operator< VertexSet's total
+  /// order was built on; capacities are compared by the caller first).
+  friend bool operator<(const WordStorage& a, const WordStorage& b) {
+    const size_t common = a.size_ < b.size_ ? a.size_ : b.size_;
+    for (size_t w = 0; w < common; ++w) {
+      if (a.data_[w] != b.data_[w]) return a.data_[w] < b.data_[w];
+    }
+    return a.size_ < b.size_;
+  }
+
+ private:
+  using Alloc = AlignedAllocator<uint64_t, 64>;
+
+  void CopyFrom(const WordStorage& other) {
+    if (other.size_ > cap_) Reallocate(other.size_, /*preserve_words=*/0);
+    for (size_t w = 0; w < other.size_; ++w) data_[w] = other.data_[w];
+    size_ = other.size_;
+  }
+
+  // Leaves `other` empty-inline (a valid, reusable state).
+  void StealFrom(WordStorage& other) {
+    if (other.is_inline()) {
+      data_ = inline_;
+      cap_ = kInlineWords;
+      for (size_t w = 0; w < other.size_; ++w) inline_[w] = other.inline_[w];
+    } else {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      other.data_ = other.inline_;
+      other.cap_ = kInlineWords;
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  // Moves to a heap buffer of exactly n words (n > kInlineWords), keeping
+  // the first preserve_words words. Exact sizing, not geometric growth: a
+  // set's word count is pinned by its universe, which almost never changes
+  // after construction.
+  void Reallocate(size_t n, size_t preserve_words) {
+    uint64_t* fresh = Alloc().allocate(n);
+    for (size_t w = 0; w < preserve_words; ++w) fresh[w] = data_[w];
+    ReleaseHeap();
+    data_ = fresh;
+    cap_ = static_cast<uint32_t>(n);
+  }
+
+  void ReleaseHeap() {
+    if (!is_inline()) Alloc().deallocate(data_, cap_);
+  }
+
+  uint64_t* data_ = inline_;
+  uint32_t size_ = 0;
+  uint32_t cap_ = kInlineWords;
+  uint64_t inline_[kInlineWords] = {0, 0};
+};
 
 /// Mask keeping the valid bits of the last word of a `capacity`-bit set:
 /// all-ones when capacity is a multiple of 64 (or zero), otherwise the low

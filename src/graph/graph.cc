@@ -149,6 +149,14 @@ void ComponentScanner::ScanFrom(const Graph& g, const VertexSet& removed,
   frontier_.Reset(n);
   frontier_.Insert(start);
   reach_.Reset(n);
+  // The four accumulators are long-lived scratch that the fused kernel
+  // below stores through millions of times: keep their words on the heap
+  // (idempotent after the first scan) so those stores cannot alias the
+  // scanner's own members — see VertexSet::PinWordsToHeap.
+  component_.PinWordsToHeap();
+  neighborhood_.PinWordsToHeap();
+  frontier_.PinWordsToHeap();
+  reach_.PinWordsToHeap();
   const size_t words = component_.words_.size();
   while (true) {
     frontier_.ForEach([&](int u) { reach_.UnionWith(g.Neighbors(u)); });

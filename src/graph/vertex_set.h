@@ -162,6 +162,24 @@ class VertexSet {
     return words_ < other.words_;
   }
 
+  /// True while the words live inline in the object (capacity <= 128 and
+  /// the set never held a wider universe) — the small-buffer regime where
+  /// construction, copy, and destruction are allocation-free. Exposed so
+  /// the spill-boundary tests can pin the storage class itself.
+  bool StoredInline() const { return words_.is_inline(); }
+
+  /// Moves the word buffer to the heap even when it fits inline (one
+  /// allocation, kept across Reset). For LONG-LIVED SCRATCH sets that
+  /// tight kernel loops write through — the component scanner's
+  /// accumulators, an enumerator's removed-set — heap words measurably
+  /// beat inline ones: with the buffer inside the object, the optimizer
+  /// must assume every word store may alias the set's own (or a
+  /// neighboring member's) bookkeeping, and the serial-minseps A/B showed
+  /// ~10% on 1-word graphs from exactly that. Short-lived sets should
+  /// stay inline: for them the allocation-free construction/copy/destroy
+  /// wins dominate. Idempotent and cheap to re-call.
+  void PinWordsToHeap() { words_.force_heap(); }
+
   /// Order-independent 64-bit hash of the element set. Cached: repeated
   /// calls on an unchanged set are O(1).
   uint64_t Hash() const {
@@ -199,10 +217,13 @@ class VertexSet {
   static constexpr uint64_t kEmptyHash = 0xcbf29ce484222325ULL;
 
   int capacity_ = 0;
-  // Cache-line-aligned storage: every word buffer — including the arena
-  // entries held by value in VertexSetTable / ShardedVertexSetTable —
-  // starts on a 64-byte boundary, so multi-word kernels begin aligned.
-  bitset::WordVector words_;
+  // Small-buffer word storage: <= 2 words (128 vertices) inline in the
+  // object, heap spill above with cache-line alignment from the SIMD
+  // dispatch threshold up — so small-universe sets (including the arena
+  // entries held by value in VertexSetTable / ShardedVertexSetTable)
+  // never touch the allocator, and every buffer wide enough for the AVX2
+  // kernels starts on a 64-byte boundary.
+  bitset::WordStorage words_;
   mutable uint64_t hash_ = kEmptyHash;
   mutable bool hash_valid_ = true;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <vector>
 
 #include "parallel/sharded_set.h"
 #include "parallel/thread_pool.h"
@@ -50,10 +51,13 @@ struct Engine {
     queue.Cancel();
   }
 
-  // Inserts a discovered separator and queues it for expansion by `worker`.
-  // As in the serial engine, exceeding max_results means the full answer set
-  // is strictly larger than the cap, so the run is truncated.
-  void Offer(int worker, const VertexSet& s) {
+  // Inserts a discovered separator and stages it for expansion in the
+  // worker's pending buffer — table insertion (and the truncation check)
+  // happens immediately, only the queue push is deferred so a whole
+  // expansion's discoveries go out in one PushBatch instead of one mutex
+  // round-trip each. As in the serial engine, exceeding max_results means
+  // the full answer set is strictly larger than the cap: truncated.
+  void Offer(int worker, std::vector<uint64_t>* pending, const VertexSet& s) {
     if (s.Empty()) return;
     if (max_size < g.NumVertices() && s.Count() > max_size) return;
     ShardedVertexSetTable::Ref ref;
@@ -62,49 +66,71 @@ struct Engine {
       StopTruncated();
       return;
     }
-    queue.Push(worker, ShardedVertexSetTable::Pack(ref));
+    pending->push_back(ShardedVertexSetTable::Pack(ref));
   }
 
   void RunWorker(int worker) {
+    // How many items one NextBatch claims. Small enough that work spreads
+    // to idle workers quickly (steals only see what is actually queued),
+    // big enough to amortize the own-deque lock across a burst.
+    constexpr size_t kPopBatch = 16;
+
     ComponentScanner scanner;
     VertexSet current;
     VertexSet removed;
+    // Same long-lived-scratch rule as the serial enumerator's removed_:
+    // heap words so the per-expansion stores cannot alias worker state.
+    removed.PinWordsToHeap();
+    std::vector<uint64_t> pending;  // discovered, not yet queued
+    uint64_t batch[kPopBatch];
+
     auto offer = [&](const VertexSet&, const VertexSet& nb) {
-      Offer(worker, nb);
+      Offer(worker, &pending, nb);
     };
 
-    uint64_t item;
-    while (queue.Next(worker, &item)) {
-      if ((item & kSeedTag) != 0) {
-        // Seeding (Berry et al.): the components C of G \ N[v] have minimal
-        // separators N(C) as neighborhoods ("close" separators).
-        if (deadline.Expired()) {
-          StopTruncated();
-        } else {
-          const int v = static_cast<int>(item & ~kSeedTag);
-          removed = g.Neighbors(v);
-          removed.Insert(v);
-          scanner.ForEachComponent(g, removed, offer);
-        }
-      } else {
-        // Expansion: for each x in S, the neighborhoods of the components
-        // of G \ (S ∪ N(x)) are minimal separators. The deadline and the
-        // cancellation flag are polled per vertex, so neither one huge
-        // expansion can blow the time budget nor can a worker keep
-        // expanding long after another hit the result cap.
-        table.CopyEntry(ShardedVertexSetTable::Unpack(item), &current);
-        current.ForEachWhile([&](int x) {
-          if (queue.Cancelled()) return false;
+    size_t got;
+    while ((got = queue.NextBatch(worker, batch, kPopBatch)) > 0) {
+      for (size_t k = 0; k < got; ++k) {
+        const uint64_t item = batch[k];
+        if ((item & kSeedTag) != 0) {
+          // Seeding (Berry et al.): the components C of G \ N[v] have
+          // minimal separators N(C) as neighborhoods ("close" separators).
           if (deadline.Expired()) {
             StopTruncated();
-            return false;
+          } else {
+            const int v = static_cast<int>(item & ~kSeedTag);
+            removed = g.Neighbors(v);
+            removed.Insert(v);
+            scanner.ForEachComponent(g, removed, offer);
           }
-          removed.AssignUnionOf(current, g.Neighbors(x));
-          scanner.ForEachComponent(g, removed, offer);
-          return true;
-        });
+        } else {
+          // Expansion: for each x in S, the neighborhoods of the components
+          // of G \ (S ∪ N(x)) are minimal separators. The deadline and the
+          // cancellation flag are polled per vertex, so neither one huge
+          // expansion can blow the time budget nor can a worker keep
+          // expanding long after another hit the result cap.
+          table.CopyEntry(ShardedVertexSetTable::Unpack(item), &current);
+          current.ForEachWhile([&](int x) {
+            if (queue.Cancelled()) return false;
+            if (deadline.Expired()) {
+              StopTruncated();
+              return false;
+            }
+            removed.AssignUnionOf(current, g.Neighbors(x));
+            scanner.ForEachComponent(g, removed, offer);
+            return true;
+          });
+        }
+        // Flush this item's discoveries before more of the batch: keeps
+        // work visible to stealers while we are still busy.
+        if (!pending.empty()) {
+          queue.PushBatch(worker, pending.data(), pending.size());
+          pending.clear();
+        }
       }
-      queue.Finish();
+      // The flush above already ran for every item, so nothing this batch
+      // spawned is still private — safe to retire all of it at once.
+      queue.FinishBatch(got);
     }
   }
 };
@@ -117,8 +143,16 @@ MinimalSeparatorsResult ListMinimalSeparatorsParallel(
   // not just before spawning, so a wild num_threads cannot balloon memory.
   Engine engine(g, max_size, limits,
                 std::clamp(limits.num_threads, 1, kMaxRunThreads));
-  for (int v = 0; v < g.NumVertices(); ++v) {
-    engine.queue.Push(v % engine.num_threads, kSeedTag | uint64_t(v));
+  {
+    // Seed items, dealt round-robin but pushed one batch per worker.
+    std::vector<uint64_t> seeds;
+    for (int w = 0; w < engine.num_threads; ++w) {
+      seeds.clear();
+      for (int v = w; v < g.NumVertices(); v += engine.num_threads) {
+        seeds.push_back(kSeedTag | uint64_t(v));
+      }
+      engine.queue.PushBatch(w, seeds.data(), seeds.size());
+    }
   }
   RunOnThreads(engine.num_threads,
                [&engine](int worker) { engine.RunWorker(worker); });

@@ -18,9 +18,10 @@ namespace parallel {
 /// locked shards by the *high* bits of the sets' cached 64-bit hashes (the
 /// low bits drive in-shard probing, so the two choices stay uncorrelated).
 /// Each shard is one VertexSetTable — literally the same open-addressing
-/// layout the serial MinimalSeparatorEnumerator uses — so the per-insert
-/// cost matches the serial dedup; threads only contend when their hashes
-/// land on the same shard.
+/// layout the serial MinimalSeparatorEnumerator uses, including its
+/// interleaved hash+index slot array (one cache line per probe step, with
+/// software prefetch) — so the per-insert cost matches the serial dedup;
+/// threads only contend when their hashes land on the same shard.
 class ShardedVertexSetTable {
  public:
   /// Identifies an inserted set; packable into a 64-bit work item.
@@ -61,8 +62,10 @@ class ShardedVertexSetTable {
   // One cache line (or more) per shard: the mutexes of neighboring shards
   // must not share a line, or every lock/unlock would ping-pong the line
   // between threads that never actually contend. The arena entries inside
-  // each table carry their own 64-byte alignment via VertexSet's
-  // bitset::WordVector storage.
+  // each table are VertexSets with small-buffer word storage: <= 128-vertex
+  // entries are self-contained objects (no pointer chase on the equality
+  // probe), wider ones spill to buffers that are 64-byte-aligned from the
+  // SIMD dispatch threshold up.
   struct alignas(64) Shard {
     mutable std::mutex mutex;
     VertexSetTable table;

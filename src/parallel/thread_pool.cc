@@ -37,6 +37,17 @@ void WorkStealingQueue::Push(int worker, uint64_t item) {
   workers_[worker].deque.push_back(item);
 }
 
+void WorkStealingQueue::PushBatch(int worker, const uint64_t* items,
+                                  size_t count) {
+  if (count == 0) return;
+  // Counter first, then the items become visible — same ordering as Push,
+  // so a worker can never observe queued work with outstanding_ == 0.
+  outstanding_.fetch_add(count, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(workers_[worker].mutex);
+  std::deque<uint64_t>& dq = workers_[worker].deque;
+  dq.insert(dq.end(), items, items + count);
+}
+
 bool WorkStealingQueue::TryPop(int worker, uint64_t* item) {
   {
     // Own deque: LIFO keeps the separator just discovered (and still warm in
@@ -77,8 +88,47 @@ bool WorkStealingQueue::Next(int worker, uint64_t* item) {
   }
 }
 
+size_t WorkStealingQueue::TryPopBatch(int worker, uint64_t* items,
+                                      size_t max_items) {
+  {
+    Worker& own = workers_[worker];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      // Back of the own deque, newest first — the batch equivalent of the
+      // LIFO cache-warm pop.
+      size_t got = 0;
+      while (got < max_items && !own.deque.empty()) {
+        items[got++] = own.deque.back();
+        own.deque.pop_back();
+      }
+      return got;
+    }
+  }
+  // Steal path: one item only, from the front of a victim (coarse subtree
+  // roots), exactly as TryPop — batch-stealing would concentrate the very
+  // work the front-steal heuristic is trying to spread.
+  return TryPop(worker, items) ? 1 : 0;
+}
+
+size_t WorkStealingQueue::NextBatch(int worker, uint64_t* items,
+                                    size_t max_items) {
+  if (max_items == 0) return 0;
+  while (true) {
+    if (cancelled_.load(std::memory_order_relaxed)) return 0;
+    const size_t got = TryPopBatch(worker, items, max_items);
+    if (got > 0) return got;
+    if (outstanding_.load(std::memory_order_acquire) == 0) return 0;
+    std::this_thread::yield();
+  }
+}
+
 void WorkStealingQueue::Finish() {
   outstanding_.fetch_sub(1, std::memory_order_release);
+}
+
+void WorkStealingQueue::FinishBatch(size_t count) {
+  if (count == 0) return;
+  outstanding_.fetch_sub(count, std::memory_order_release);
 }
 
 void WorkStealingQueue::Cancel() {

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <unordered_set>
 
 #include "graph/bitset_kernels.h"
+#include "graph/vertex_set_pool.h"
+#include "graph/vertex_set_table.h"
 #include "parallel/sharded_set.h"
 #include "parallel/thread_pool.h"
 
@@ -148,13 +149,24 @@ class IncrementalEnumerator {
         prev_pmcs.size() + 2 * next_seps.size() >= kMinParallelItems) {
       return ParallelStep(next, a, prev_pmcs, next_seps, out);
     }
-    tried_.clear();
-    auto consider = [&](VertexSet omega) -> bool {
-      if (omega.Empty() || omega.Count() > options_.max_size) return true;
-      if (!tried_.insert(omega).second) return true;
+    // Per-step dedup on the shared arena/table layout: Clear() keeps the
+    // slot array and arena capacity across steps, so after the first few
+    // prefix steps the table stops allocating entirely. (The previous
+    // std::unordered_set spent one node allocation on every distinct
+    // candidate — the single hottest allocation site of the serial PMC
+    // path once VertexSets themselves went inline.)
+    tried_.Clear();
+    auto consider = [&](VertexSet&& omega) -> bool {
+      if (omega.Empty() || omega.Count() > options_.max_size ||
+          !tried_.Insert(omega)) {
+        pool_.Release(std::move(omega));
+        return true;
+      }
       if (tester_.Test(next, omega)) {
         out->push_back(std::move(omega));
         if (out->size() > options_.limits.max_results) return false;
+      } else {
+        pool_.Release(std::move(omega));
       }
       return true;
     };
@@ -164,7 +176,7 @@ class IncrementalEnumerator {
     for (size_t item = 0; item < num_items; ++item) {
       if (deadline_.Expired()) return false;
       if (!GenerateCandidates(next, a, prev_pmcs, next_seps, t_list, item,
-                              &scanner_, &components_, &extra_, consider)) {
+                              &scanner_, &components_, &pool_, consider)) {
         return false;
       }
     }
@@ -192,7 +204,10 @@ class IncrementalEnumerator {
   // S ∪ (T ∩ C) for one outer separator S). Both the serial and the
   // parallel Step run on this single generator, so the case analysis can
   // never diverge between them; scratch is caller-supplied (per-thread in
-  // the parallel path).
+  // the parallel path). Candidate sets come from the caller's free-list
+  // pool and `consider` takes ownership — it must either keep the set (an
+  // accepted PMC) or Release it back, so the generate-mostly-reject loop
+  // recycles the same few buffers instead of churning one per candidate.
   template <typename Consider>
   static bool GenerateCandidates(const Graph& next, int a,
                                  const std::vector<VertexSet>& prev_pmcs,
@@ -200,18 +215,21 @@ class IncrementalEnumerator {
                                  const std::vector<const VertexSet*>& t_list,
                                  size_t item, ComponentScanner* scanner,
                                  std::vector<VertexSet>* components,
-                                 VertexSet* extra, const Consider& consider) {
+                                 VertexSetPool* pool, const Consider& consider) {
     const size_t num_pmcs = prev_pmcs.size();
     const size_t num_seps = next_seps.size();
+    const int n = next.NumVertices();
     if (item < num_pmcs) {
-      VertexSet omega(next.NumVertices());
+      VertexSet omega = pool->Acquire(n);
       prev_pmcs[item].ForEach([&](int v) { omega.Insert(v); });
-      VertexSet with_a = omega;
+      VertexSet with_a = pool->Acquire(n);
+      with_a = omega;  // buffer-reusing copy
       with_a.Insert(a);
       return consider(std::move(omega)) && consider(std::move(with_a));
     }
     if (item < num_pmcs + num_seps) {
-      VertexSet omega = next_seps[item - num_pmcs];
+      VertexSet omega = pool->Acquire(n);
+      omega = next_seps[item - num_pmcs];
       omega.Insert(a);
       return consider(std::move(omega));
     }
@@ -220,11 +238,15 @@ class IncrementalEnumerator {
     for (const VertexSet* t : t_list) {
       if (*t == s) continue;
       for (const VertexSet& c : *components) {
-        *extra = *t;
-        extra->IntersectWith(c);
-        if (extra->Empty()) continue;
-        extra->UnionWith(s);
-        if (!consider(*extra)) return false;
+        VertexSet cand = pool->Acquire(n);
+        cand = *t;
+        cand.IntersectWith(c);
+        if (cand.Empty()) {
+          pool->Release(std::move(cand));
+          continue;
+        }
+        cand.UnionWith(s);
+        if (!consider(std::move(cand))) return false;
       }
     }
     return true;
@@ -259,18 +281,23 @@ class IncrementalEnumerator {
       PmcTester tester;
       ComponentScanner scanner;
       std::vector<VertexSet> components;
-      VertexSet extra;
+      VertexSetPool pool;
       std::vector<VertexSet>& local_out = worker_out[worker];
 
-      auto consider = [&](VertexSet omega) -> bool {
-        if (omega.Empty() || omega.Count() > options_.max_size) return true;
-        if (!tried.Insert(omega)) return true;
+      auto consider = [&](VertexSet&& omega) -> bool {
+        if (omega.Empty() || omega.Count() > options_.max_size ||
+            !tried.Insert(omega)) {
+          pool.Release(std::move(omega));
+          return true;
+        }
         if (tester.Test(next, omega)) {
           local_out.push_back(std::move(omega));
           if (accepted.fetch_add(1, std::memory_order_relaxed) + 1 >
               options_.limits.max_results) {
             return false;
           }
+        } else {
+          pool.Release(std::move(omega));
         }
         return true;
       };
@@ -283,7 +310,7 @@ class IncrementalEnumerator {
           break;
         }
         if (!GenerateCandidates(next, a, prev_pmcs, next_seps, t_list, item,
-                                &scanner, &components, &extra, consider)) {
+                                &scanner, &components, &pool, consider)) {
           stopped.store(true, std::memory_order_relaxed);
           break;
         }
@@ -305,8 +332,8 @@ class IncrementalEnumerator {
   PmcTester tester_;
   ComponentScanner scanner_;
   std::vector<VertexSet> components_;
-  VertexSet extra_;
-  std::unordered_set<VertexSet, VertexSetHash> tried_;
+  VertexSetPool pool_;
+  VertexSetTable tried_;
 };
 
 }  // namespace

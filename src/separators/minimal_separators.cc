@@ -22,7 +22,12 @@ MinimalSeparatorEnumerator::MinimalSeparatorEnumerator(const Graph& g,
     : g_(g),
       max_size_(max_size),
       deadline_(deadline),
-      table_(/*initial_slots=*/256) {}
+      table_(/*initial_slots=*/256) {
+  // removed_ is the expansion loop's long-lived scratch (one AssignUnionOf
+  // per expanded vertex): heap words keep those stores from aliasing the
+  // enumerator's members in the optimizer's eyes — see PinWordsToHeap.
+  removed_.PinWordsToHeap();
+}
 
 MinimalSeparatorEnumerator::MinimalSeparatorEnumerator(const Graph& g)
     : MinimalSeparatorEnumerator(g, g.NumVertices()) {}

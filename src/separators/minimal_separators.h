@@ -114,6 +114,14 @@ class MinimalSeparatorEnumerator {
   /// still queued).
   size_t NumDiscovered() const { return table_.Size(); }
 
+  /// Pre-sizes the dedup arena and probe table for `expected` distinct
+  /// separators. With an accurate estimate (a previous run on the same
+  /// graph, a cached count in a service), the entire enumeration performs
+  /// zero heap allocations on small universes — the invariant the
+  /// MINTRI_COUNT_ALLOCS regression test pins. Harmless to over- or
+  /// under-shoot: the table grows as usual past the reservation.
+  void Reserve(size_t expected) { table_.Reserve(expected); }
+
  private:
   bool DeadlineExpired() const {
     return deadline_ != nullptr && deadline_->Expired();

@@ -335,10 +335,17 @@ std::optional<Triangulation> MinTriangSolver::Solve(
   }
   include_ids_ = include_ids;
   exclude_ids_ = exclude_ids;
-  include_sets_.clear();
-  exclude_sets_.clear();
-  for (int id : include_ids_) include_sets_.push_back(separators[id]);
-  for (int id : exclude_ids_) exclude_sets_.push_back(separators[id]);
+  // Element-wise copy-assign instead of clear+push_back: assignment reuses
+  // each slot's word buffer, so re-materializing the constraint sets on
+  // every Solve of a ranked enumeration allocates nothing in steady state.
+  include_sets_.resize(include_ids_.size());
+  exclude_sets_.resize(exclude_ids_.size());
+  for (size_t i = 0; i < include_ids_.size(); ++i) {
+    include_sets_[i] = separators[include_ids_[i]];
+  }
+  for (size_t i = 0; i < exclude_ids_.size(); ++i) {
+    exclude_sets_[i] = separators[exclude_ids_[i]];
+  }
 
   if (full || any_delta) {
     // The reverse DP edges are only needed once repairs start cascading, so
@@ -372,18 +379,16 @@ Triangulation MinTriangSolver::Reconstruct() {
   Triangulation t;
   t.cost = value_[Root()];
 
-  struct Frame {
-    int block_id;
-    int parent_bag;
-  };
-  std::vector<Frame> stack;
+  std::vector<ReconstructFrame>& stack = reconstruct_stack_;
+  stack.clear();
   const int root_k = choice_[Root()];
   t.bags.push_back(ctx_.pmcs()[ctx_.root_candidates()[root_k]]);
   t.parent.push_back(-1);
   for (int cid : ctx_.root_children()[root_k]) stack.push_back({cid, 0});
-  std::vector<VertexSet> seps;
+  std::vector<VertexSet>& seps = reconstruct_seps_;
+  seps.clear();
   while (!stack.empty()) {
-    Frame f = stack.back();
+    ReconstructFrame f = stack.back();
     stack.pop_back();
     const TriangulationContext::BlockEntry& block = blocks[f.block_id];
     int k = choice_[f.block_id];
@@ -396,9 +401,14 @@ Triangulation MinTriangSolver::Reconstruct() {
   }
   // Distinct adhesions, in the canonical (VertexSet <) order the previous
   // std::set-based reconstruction produced — without the per-node churn.
+  // Copied (not moved) out of the scratch so its element buffers survive
+  // for the next Solve; the unique-copy loop replaces sort+unique+erase so
+  // no scratch element is destroyed either.
   std::sort(seps.begin(), seps.end());
-  seps.erase(std::unique(seps.begin(), seps.end()), seps.end());
-  t.separators = std::move(seps);
+  t.separators.reserve(seps.size());
+  for (size_t i = 0; i < seps.size(); ++i) {
+    if (i == 0 || seps[i] != seps[i - 1]) t.separators.push_back(seps[i]);
+  }
 
   t.filled = g;
   for (const VertexSet& bag : t.bags) t.filled.SaturateSet(bag);

@@ -241,6 +241,18 @@ class MinTriangSolver {
   // Reused scratch.
   std::vector<const VertexSet*> child_blocks_buf_;
   std::vector<CostValue> child_costs_buf_;
+  // Reconstruct() scratch: the DFS stack and the adhesion list are members
+  // so the per-result reconstructions of a ranked enumeration (hundreds of
+  // Solve calls on one solver) stop re-growing them from scratch — part of
+  // the same no-hot-loop-allocations policy as the buffers above. The sets
+  // *returned* to the caller still get fresh storage (the Triangulation
+  // owns its data); only the scratch is recycled.
+  struct ReconstructFrame {
+    int block_id;
+    int parent_bag;
+  };
+  std::vector<ReconstructFrame> reconstruct_stack_;
+  std::vector<VertexSet> reconstruct_seps_;
 
   long long num_candidate_evals_ = 0;
   long long num_combine_calls_ = 0;

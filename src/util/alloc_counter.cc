@@ -1,0 +1,145 @@
+#include "util/alloc_counter.h"
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+// The override set below replaces the global allocation functions for the
+// whole program (C++17 [replacement.functions]), so it must be compiled in
+// at most once and only when asked for: it adds a few instructions to every
+// allocation and is meant for the MINTRI_COUNT_ALLOCS CI leg and local
+// regression runs, not production binaries.
+#if MINTRI_COUNT_ALLOCS
+
+namespace mintri {
+namespace {
+
+// Plain (trivially constructible/destructible) thread_locals: guaranteed
+// constant-initialized, so the overrides can run during static init and
+// thread shutdown without tripping a TLS-guard recursion through malloc.
+thread_local uint64_t tl_allocations = 0;
+thread_local uint64_t tl_deallocations = 0;
+thread_local uint64_t tl_bytes = 0;
+
+void* CountedAlloc(size_t size, size_t alignment) {
+  ++tl_allocations;
+  tl_bytes += size;
+  // malloc(0) may return nullptr; operator new must not.
+  if (size == 0) size = 1;
+  void* p = alignment <= alignof(std::max_align_t)
+                ? std::malloc(size)
+                : std::aligned_alloc(alignment, ((size + alignment - 1) /
+                                                 alignment) * alignment);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void CountedFree(void* p) {
+  if (p != nullptr) ++tl_deallocations;
+  std::free(p);
+}
+
+}  // namespace
+
+bool AllocCountingEnabled() { return true; }
+
+AllocCounters ReadAllocCounters() {
+  AllocCounters c;
+  c.allocations = tl_allocations;
+  c.deallocations = tl_deallocations;
+  c.bytes = tl_bytes;
+  return c;
+}
+
+}  // namespace mintri
+
+// Throwing forms.
+void* operator new(size_t size) {
+  return mintri::CountedAlloc(size, alignof(std::max_align_t));
+}
+void* operator new[](size_t size) {
+  return mintri::CountedAlloc(size, alignof(std::max_align_t));
+}
+void* operator new(size_t size, std::align_val_t al) {
+  return mintri::CountedAlloc(size, static_cast<size_t>(al));
+}
+void* operator new[](size_t size, std::align_val_t al) {
+  return mintri::CountedAlloc(size, static_cast<size_t>(al));
+}
+
+// Nothrow forms.
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return mintri::CountedAlloc(size, alignof(std::max_align_t));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return mintri::CountedAlloc(size, alignof(std::max_align_t));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(size_t size, std::align_val_t al,
+                   const std::nothrow_t&) noexcept {
+  try {
+    return mintri::CountedAlloc(size, static_cast<size_t>(al));
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](size_t size, std::align_val_t al,
+                     const std::nothrow_t&) noexcept {
+  try {
+    return mintri::CountedAlloc(size, static_cast<size_t>(al));
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+// Deletes: every form funnels into CountedFree (size/alignment hints don't
+// matter to free()).
+void operator delete(void* p) noexcept { mintri::CountedFree(p); }
+void operator delete[](void* p) noexcept { mintri::CountedFree(p); }
+void operator delete(void* p, size_t) noexcept { mintri::CountedFree(p); }
+void operator delete[](void* p, size_t) noexcept { mintri::CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  mintri::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  mintri::CountedFree(p);
+}
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  mintri::CountedFree(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  mintri::CountedFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  mintri::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  mintri::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  mintri::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  mintri::CountedFree(p);
+}
+
+#else  // !MINTRI_COUNT_ALLOCS
+
+namespace mintri {
+
+bool AllocCountingEnabled() { return false; }
+
+AllocCounters ReadAllocCounters() { return AllocCounters{}; }
+
+}  // namespace mintri
+
+#endif  // MINTRI_COUNT_ALLOCS

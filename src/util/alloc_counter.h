@@ -1,0 +1,46 @@
+#ifndef MINTRI_UTIL_ALLOC_COUNTER_H_
+#define MINTRI_UTIL_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace mintri {
+
+/// Snapshot of this thread's heap traffic since thread start. Only
+/// meaningful when the build was configured with -DMINTRI_COUNT_ALLOCS=ON,
+/// which compiles global operator new/delete overrides that bump
+/// thread-local counters; otherwise every field reads as zero. The
+/// difference of two snapshots brackets a region of code — that is how the
+/// allocation-regression test pins "zero allocations per emitted separator
+/// after warm-up" as an invariant instead of a hope.
+///
+/// Counters are thread-local on purpose: the overrides stay free of atomics
+/// (so instrumented builds keep realistic timing), and a test measuring its
+/// own thread is immune to background-thread noise. The cost is that
+/// cross-thread traffic (a buffer allocated on one thread, freed on
+/// another) shows up as an alloc here and a dealloc there — fine for the
+/// regression tests, which measure single-threaded steady state.
+struct AllocCounters {
+  uint64_t allocations = 0;    // operator new calls (all forms)
+  uint64_t deallocations = 0;  // operator delete calls (all forms)
+  uint64_t bytes = 0;          // total bytes requested from operator new
+
+  AllocCounters operator-(const AllocCounters& base) const {
+    AllocCounters d;
+    d.allocations = allocations - base.allocations;
+    d.deallocations = deallocations - base.deallocations;
+    d.bytes = bytes - base.bytes;
+    return d;
+  }
+};
+
+/// True iff the operator new/delete overrides are compiled in (i.e. the
+/// snapshots below move). Lets tests GTEST_SKIP with a clear message in
+/// uninstrumented builds rather than vacuously pass.
+bool AllocCountingEnabled();
+
+/// This thread's counters, now.
+AllocCounters ReadAllocCounters();
+
+}  // namespace mintri
+
+#endif  // MINTRI_UTIL_ALLOC_COUNTER_H_

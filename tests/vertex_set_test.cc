@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <iterator>
+#include <random>
 #include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/bitset_kernels.h"
 
 namespace mintri {
 namespace {
@@ -198,6 +204,168 @@ TEST(VertexSetDeathTest, MixedCapacityOperationsAbortInEveryBuild) {
   EXPECT_DEATH((void)a.IsSubsetOf(b), "capacity mismatch in IsSubsetOf");
   EXPECT_DEATH((void)a.Intersects(b), "capacity mismatch in Intersects");
   EXPECT_DEATH(a.AssignUnionOf(a, b), "capacity mismatch in AssignUnionOf");
+}
+
+// ---------------------------------------------------------------------------
+// Small-buffer (inline <-> heap) spill boundary.
+//
+// VertexSet's words live inline in the object up to 128 vertices (2 words)
+// and spill to a heap buffer above. The tests below pin (1) where the
+// boundary sits, (2) that values, hashes, and semantics are identical on
+// both sides of it — including for objects moved/copied across it — and
+// (3) that spilled buffers keep the alignment contract the SIMD kernels
+// dispatch on.
+// ---------------------------------------------------------------------------
+
+// The capacities the differential tests sweep: both sides of each word
+// boundary (63/64/65, 127/128/129) plus one deep-heap capacity whose word
+// count is past the SIMD dispatch threshold.
+const int kSpillCapacities[] = {63, 64, 65, 127, 128, 129, 640};
+
+TEST(VertexSetSpillTest, InlineExactlyUpTo128Vertices) {
+  for (int cap : kSpillCapacities) {
+    SCOPED_TRACE(cap);
+    VertexSet s(cap);
+    EXPECT_EQ(s.StoredInline(), cap <= 128);
+    VertexSet all = VertexSet::All(cap);
+    EXPECT_EQ(all.StoredInline(), cap <= 128);
+  }
+  // The storage class itself pins the same constant.
+  EXPECT_EQ(bitset::WordStorage::kInlineWords * 64, 128u);
+}
+
+TEST(VertexSetSpillTest, RandomizedDifferentialAgainstStdSet) {
+  // Drive a VertexSet and a std::set<int> reference through the same
+  // random mutation sequence at every boundary capacity; the bitset must
+  // agree on membership, count, iteration order, and hash (against a
+  // freshly built, never-mutated twin — catching stale hash caches).
+  std::mt19937 rng(20260808);
+  for (int cap : kSpillCapacities) {
+    SCOPED_TRACE(cap);
+    VertexSet s(cap);
+    std::set<int> ref;
+    std::uniform_int_distribution<int> pick_v(0, cap - 1);
+    std::uniform_int_distribution<int> pick_op(0, 5);
+    for (int step = 0; step < 400; ++step) {
+      const int v = pick_v(rng);
+      switch (pick_op(rng)) {
+        case 0:
+        case 1:
+          s.Insert(v);
+          ref.insert(v);
+          break;
+        case 2:
+          s.Erase(v);
+          ref.erase(v);
+          break;
+        case 3: {  // copy round-trip (possibly across the boundary)
+          VertexSet copy = s;
+          s = copy;
+          break;
+        }
+        case 4: {  // move round-trip
+          VertexSet moved = std::move(s);
+          s = std::move(moved);
+          break;
+        }
+        case 5: {  // union with a singleton, exercising the kernel path
+          s.UnionWith(VertexSet::Single(cap, v));
+          ref.insert(v);
+          break;
+        }
+      }
+      ASSERT_EQ(s.Count(), static_cast<int>(ref.size()));
+    }
+    EXPECT_EQ(s.ToVector(), std::vector<int>(ref.begin(), ref.end()));
+    EXPECT_EQ(s, VertexSet::FromVector(cap, s.ToVector()));
+    EXPECT_EQ(s.Hash(), VertexSet::FromVector(cap, s.ToVector()).Hash());
+  }
+}
+
+TEST(VertexSetSpillTest, CopyAndMoveAcrossTheBoundary) {
+  // A heap set assigned into an inline-storage object and vice versa.
+  VertexSet small = VertexSet::Of(100, {0, 64, 99});
+  VertexSet big = VertexSet::Of(300, {0, 64, 150, 299});
+  ASSERT_TRUE(small.StoredInline());
+  ASSERT_FALSE(big.StoredInline());
+
+  VertexSet t = small;  // starts inline
+  t = big;              // copy-assign forces a spill
+  EXPECT_FALSE(t.StoredInline());
+  EXPECT_EQ(t, big);
+  t = small;  // shrinking keeps the (now heap) buffer, vector-style
+  EXPECT_EQ(t, small);
+  EXPECT_EQ(t.Hash(), small.Hash());
+
+  VertexSet m = std::move(t);  // steals the heap buffer
+  EXPECT_EQ(m, small);
+
+  VertexSet m2 = std::move(big);  // move across: m2 owns the heap buffer
+  EXPECT_FALSE(m2.StoredInline());
+  EXPECT_EQ(m2, VertexSet::Of(300, {0, 64, 150, 299}));
+
+  VertexSet inline_moved = std::move(small);  // inline move copies words
+  EXPECT_TRUE(inline_moved.StoredInline());
+  EXPECT_EQ(inline_moved, VertexSet::Of(100, {0, 64, 99}));
+}
+
+TEST(VertexSetSpillTest, SelfAssignmentIsSafeOnBothSides) {
+  for (int cap : {100, 300}) {
+    SCOPED_TRACE(cap);
+    VertexSet s = VertexSet::Of(cap, {1, 2, 3, 64});
+    const VertexSet expect = s;
+    VertexSet& alias = s;
+    s = alias;
+    EXPECT_EQ(s, expect);
+    s = std::move(alias);
+    EXPECT_EQ(s, expect);
+  }
+}
+
+TEST(VertexSetSpillTest, HashCacheSurvivesTheSpill) {
+  // Reset() onto a wider universe reallocates the words (inline -> heap);
+  // the incremental hash must stay in sync with a from-scratch build
+  // through every mix of cached and recomputed states.
+  VertexSet s(64);
+  s.Insert(5);
+  (void)s.Hash();  // warm the cache while inline
+  s.Reset(640);    // spill; Reset must leave the empty-set hash
+  EXPECT_EQ(s.Hash(), VertexSet(640).Hash());
+  s.Insert(5);
+  s.Insert(639);
+  EXPECT_EQ(s.Hash(), VertexSet::Of(640, {5, 639}).Hash());
+  s.Erase(639);
+  EXPECT_EQ(s.Hash(), VertexSet::Of(640, {5}).Hash());
+  // Word-parallel mutation after the spill invalidates and recomputes.
+  s.UnionWith(VertexSet::Of(640, {200, 400}));
+  EXPECT_EQ(s.Hash(), VertexSet::Of(640, {5, 200, 400}).Hash());
+}
+
+TEST(VertexSetSpillTest, SpilledBuffersKeepTheSimdAlignmentContract) {
+  // The alignment-from-threshold policy must hold for heap spills: every
+  // buffer of at least kSimdMinWords words starts on a 64-byte boundary
+  // (the AVX2 kernels dispatch on exactly these), including buffers that
+  // traveled through copies and moves.
+  for (int cap : {256, 320, 640, 1024}) {
+    SCOPED_TRACE(cap);
+    VertexSet s = VertexSet::All(cap);
+    ASSERT_GE(s.word_count(), bitset::kSimdMinWords);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(s.word_data()) % 64, 0u);
+    VertexSet copy = s;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(copy.word_data()) % 64, 0u);
+    VertexSet moved = std::move(copy);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(moved.word_data()) % 64, 0u);
+  }
+}
+
+TEST(VertexSetSpillDeathTest, MixedCapacityAcrossTheBoundaryStillAborts) {
+  // The capacity guard must not care which storage class each side uses.
+  VertexSet inline_side = VertexSet::Of(64, {0});
+  const VertexSet heap_side = VertexSet::Of(640, {0});
+  EXPECT_DEATH(inline_side.UnionWith(heap_side),
+               "capacity mismatch in UnionWith");
+  EXPECT_DEATH((void)heap_side.IsSubsetOf(inline_side),
+               "capacity mismatch in IsSubsetOf");
 }
 
 TEST(VertexSetTest, ForEachWhileStopsEarly) {
