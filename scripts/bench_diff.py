@@ -4,7 +4,7 @@
 Usage: bench_diff.py [--threshold=PCT] [--json=FILE] BASELINE.json CURRENT.json
 
 Matches entries across the two reports on (suite, graph, threads, solver,
-cost), groups the matches by (suite, family), and prints a markdown delta
+cost, tier), groups the matches by (suite, family), and prints a markdown delta
 table of per-family median ratios:
 
   * results_per_sec — higher is better; the regression gate.
@@ -64,7 +64,7 @@ def entry_key(entry):
     """Identity of one benchmark point, stable across schema versions."""
     return (entry.get("suite", ""), entry.get("graph", ""),
             entry.get("threads", 0), entry.get("solver", ""),
-            entry.get("cost", ""))
+            entry.get("cost", ""), entry.get("tier", ""))
 
 
 def index_entries(entries):

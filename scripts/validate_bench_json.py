@@ -49,10 +49,11 @@ ENTRY = {
     "index_updates": int,
     "range_queries": int,
     "cache_hit_rate": float,
+    "tier": str,
     "status": str,
 }
 
-KNOWN_SUITES = {"minseps", "pmc", "enum", "ranked", "appcost"}
+KNOWN_SUITES = {"minseps", "pmc", "enum", "ranked", "appcost", "huge"}
 # ms-terminated / pmc-terminated are the Fig. 5 taxonomy of which context
 # initialization stage hit its limits; cost-error marks an appcost case
 # whose cost model could not be constructed.
@@ -63,6 +64,9 @@ APPCOST_COSTS = {"hypertree", "fhw", "state-space"}
 # The ranked suite's repair engines (bench --solver values). The default
 # sweep emits one entry per engine at every (threads, graph) point.
 RANKED_SOLVERS = {"indexed", "scan"}
+# The tiered pipeline's truthful stream labels (huge-suite entries only;
+# every other suite runs the direct exact stack and emits "").
+KNOWN_TIERS = {"exact", "atom-exact", "heuristic"}
 
 
 def fail(message):
@@ -100,6 +104,14 @@ BATCH_STATS = {
     "cache_hits": int,
     "cache_misses": int,
     "cache_hit_rate": float,
+    "tier_exact": int,
+    "tier_atom_exact": int,
+    "tier_heuristic": int,
+    "atoms": int,
+    "reduced_vertices": int,
+    "preprocess_seconds_total": float,
+    "tier1_seconds_total": float,
+    "tier2_seconds_total": float,
     "worker_stats": list,
 }
 
@@ -140,6 +152,18 @@ def validate_batch_stats(path):
         fail(f"cache_lookups {stats['cache_lookups']} != hits + misses")
     if not 0 <= stats["cache_hit_rate"] <= 1:
         fail(f"cache_hit_rate {stats['cache_hit_rate']} outside [0, 1]")
+    tier_total = (stats["tier_exact"] + stats["tier_atom_exact"]
+                  + stats["tier_heuristic"])
+    if tier_total > stats["ok"]:
+        fail(f"tier counters sum to {tier_total}, more than ok={stats['ok']}")
+    if any(stats[k] < 0 for k in ("tier_exact", "tier_atom_exact",
+                                  "tier_heuristic", "atoms",
+                                  "reduced_vertices")):
+        fail("negative tier/preprocess counter")
+    if any(stats[k] < 0 for k in ("preprocess_seconds_total",
+                                  "tier1_seconds_total",
+                                  "tier2_seconds_total")):
+        fail("negative per-tier timing")
 
     workers = stats["worker_stats"]
     if len(workers) != stats["workers"]:
@@ -259,6 +283,15 @@ def main():
             if entry["cost"] not in APPCOST_COSTS:
                 fail(f"{where}: appcost entry has cost {entry['cost']!r}, "
                      f"expected one of {sorted(APPCOST_COSTS)}")
+        if entry["suite"] == "huge":
+            if entry["tier"] not in KNOWN_TIERS:
+                fail(f"{where}: huge entry has tier {entry['tier']!r}, "
+                     f"expected one of {sorted(KNOWN_TIERS)}")
+            if entry["n"] < 1000:
+                fail(f"{where}: huge entry has n={entry['n']}, "
+                     f"expected a PACE-scale graph (n >= 1000)")
+        elif entry["tier"]:
+            fail(f"{where}: non-huge entry has tier {entry['tier']!r}")
 
     # The CI smoke gate must exercise both repair engines — a report with
     # only one means the interleaved comparison (and the byte-identity

@@ -28,6 +28,7 @@ inline constexpr size_t kMaxResults = 100000;
 /// One benchmarked (suite, graph) pair of BENCH_core.json.
 struct BenchEntry {
   std::string suite;   // "minseps" | "pmc" | "enum" | "ranked" | "appcost"
+                       // | "huge"
   std::string family;  // workload family name (Fig. 5 naming)
   std::string graph;   // graph name within the family
   int n = 0;           // vertices
@@ -63,10 +64,16 @@ struct BenchEntry {
   /// "complete" | "truncated" | "ms-terminated" | "pmc-terminated"
   /// (the last two are the Fig. 5 taxonomy of which init stage gave up).
   std::string status;
+  /// The tiered pipeline's truthful stream label for the huge suite
+  /// ("exact" | "atom-exact" | "heuristic"); empty for the suites that run
+  /// the direct exact stack.
+  std::string tier;
 };
 
 /// The machine-readable benchmark report (serialized as BENCH_core.json).
-/// Schema history: v2 added the per-entry solver + repair-counter fields.
+/// Schema history: v2 added the per-entry solver + repair-counter fields,
+/// then the huge suite's per-entry tier label (same version: the field is
+/// emitted for every entry).
 struct BenchReport {
   int schema_version = 2;
   std::string git_sha;

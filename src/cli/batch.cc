@@ -14,7 +14,7 @@
 #include "cli/batch_shard.h"
 #include "cli/flags.h"
 #include "cost/cost_model_registry.h"
-#include "enumeration/ranked_forest.h"
+#include "enumeration/tiered_enum.h"
 #include "parallel/thread_pool.h"
 #include "util/json_util.h"
 #include "util/timer.h"
@@ -70,23 +70,38 @@ BatchRecord RunOneInstance(const std::string& spec,
   ctx_options.separator_limits.time_limit_seconds = options.time_limit;
   ctx_options.pmc_limits.time_limit_seconds = options.time_limit;
   ctx_options.num_threads = options.inner_threads;
-  RankedForestEnumerator enumerator(instance->graph, *model->cost,
-                                    model->composition, ctx_options);
+  TierOptions tier_options;
+  tier_options.mode = options.tier == "exact"
+                          ? TierOptions::Mode::kExact
+                          : options.tier == "heuristic"
+                                ? TierOptions::Mode::kHeuristic
+                                : TierOptions::Mode::kAuto;
+  tier_options.decomposable_cost = IsTierDecomposableCost(options.cost);
+  tier_options.exact_budget_seconds = options.time_limit;
+  TieredEnumerator enumerator(instance->graph, *model->cost,
+                              model->composition, ctx_options,
+                              SolverOptions{}, tier_options);
   record.init_seconds = enumerator.init_seconds();
   if (!enumerator.init_ok()) {
     record.status = "init-failed";
     record.error = enumerator.init_info().TerminationName();
     return record;
   }
+  record.tier = TierName(enumerator.tier());
+  record.atoms = enumerator.preprocess_info().num_atoms;
+  record.reduced_vertices = enumerator.preprocess_info().vertices_removed;
+  record.preprocess_seconds = enumerator.preprocess_info().seconds;
+  record.tier1_seconds = enumerator.tier1_seconds();
+  record.tier2_seconds = enumerator.tier2_seconds();
   for (long long rank = 1; rank <= options.top; ++rank) {
-    std::optional<Triangulation> t = enumerator.Next();
+    std::optional<TieredResult> t = enumerator.Next();
     if (!t.has_value()) break;
     BatchRecord::Row row;
     row.rank = static_cast<int>(rank);
-    row.cost = t->cost;
-    row.width = t->Width();
-    row.fill = t->FillIn(instance->graph);
-    row.bags = static_cast<int>(t->bags.size());
+    row.cost = t->triangulation.cost;
+    row.width = t->triangulation.Width();
+    row.fill = t->triangulation.FillIn(instance->graph);
+    row.bags = static_cast<int>(t->triangulation.bags.size());
     record.results.push_back(row);
   }
   if (model->cache != nullptr) {
@@ -179,6 +194,14 @@ BatchAggregateStats AggregateInProcessStats(
     stats.cache_lookups += r.cache_lookups;
     stats.cache_hits += r.cache_hits;
     stats.cache_misses += r.cache_misses;
+    if (r.tier == "exact") ++stats.tier_exact;
+    if (r.tier == "atom-exact") ++stats.tier_atom_exact;
+    if (r.tier == "heuristic") ++stats.tier_heuristic;
+    stats.atoms_total += r.atoms;
+    stats.reduced_vertices_total += r.reduced_vertices;
+    stats.preprocess_seconds_total += r.preprocess_seconds;
+    stats.tier1_seconds_total += r.tier1_seconds;
+    stats.tier2_seconds_total += r.tier2_seconds;
   }
   stats.worker_stats.push_back(std::move(ws));
   return stats;
@@ -210,6 +233,9 @@ constexpr char kBatchUsage[] =
     "                     killed and its unfinished instances reported as\n"
     "                     worker-timeout records (default: none)\n"
     "  --time-limit=SEC   per-stage initialization budget (default 30)\n"
+    "  --tier=auto|exact|heuristic  solve pipeline per instance (default\n"
+    "                     auto); see `mintri rank --help`. Each record\n"
+    "                     carries the truthful tier label\n"
     "  --no-cache         disable the memoized bag-score cache\n"
     "  --stats            per-worker + aggregate summary on stderr\n"
     "  --stats-json=FILE  machine-readable aggregate stats (validated by\n"
@@ -237,7 +263,12 @@ std::vector<BatchRecord> RunBatch(const std::vector<std::string>& specs,
     }
   });
   if (options.mask_timings) {
-    for (BatchRecord& r : records) r.init_seconds = 0;
+    for (BatchRecord& r : records) {
+      r.init_seconds = 0;
+      r.preprocess_seconds = 0;
+      r.tier1_seconds = 0;
+      r.tier2_seconds = 0;
+    }
   }
   return records;
 }
@@ -253,7 +284,16 @@ void WriteBatchRecord(const BatchRecord& r, std::ostream& out) {
   AppendJsonCost(r.init_seconds, out);
   out << ", \"cache_lookups\": " << r.cache_lookups
       << ", \"cache_hits\": " << r.cache_hits
-      << ", \"cache_misses\": " << r.cache_misses;
+      << ", \"cache_misses\": " << r.cache_misses << ", \"tier\": ";
+  AppendJsonString(r.tier, out);
+  out << ", \"atoms\": " << r.atoms
+      << ", \"reduced_vertices\": " << r.reduced_vertices
+      << ", \"preprocess_seconds\": ";
+  AppendJsonCost(r.preprocess_seconds, out);
+  out << ", \"tier1_seconds\": ";
+  AppendJsonCost(r.tier1_seconds, out);
+  out << ", \"tier2_seconds\": ";
+  AppendJsonCost(r.tier2_seconds, out);
   if (!r.error.empty()) {
     out << ", \"error\": ";
     AppendJsonString(r.error, out);
@@ -328,6 +368,14 @@ int RunBatchCommand(const std::vector<std::string>& args, std::ostream& out,
           !(options.time_limit > 0)) {
         err << "invalid value for --time-limit: " << arg.substr(13)
             << " (expected a positive number of seconds)\n";
+        return 1;
+      }
+    } else if (arg.rfind("--tier=", 0) == 0) {
+      options.tier = arg.substr(7);
+      if (options.tier != "auto" && options.tier != "exact" &&
+          options.tier != "heuristic") {
+        err << "invalid value for --tier: " << options.tier
+            << " (expected auto, exact, or heuristic)\n";
         return 1;
       }
     } else if (arg == "--no-cache") {

@@ -29,7 +29,8 @@ struct BatchOptions {
   bool stats = false;          // per-worker + aggregate summary on stderr
   std::string stats_json;      // aggregate-stats JSON output path ("" = off)
   std::string worker_binary;   // mintri binary to spawn ("" = self)
-  bool mask_timings = false;   // zero init_seconds (testing hook)
+  std::string tier = "auto";   // solve pipeline: auto|exact|heuristic
+  bool mask_timings = false;   // zero timing fields (testing hook)
 };
 
 /// One instance's outcome (one JSON record in the batch report).
@@ -48,6 +49,15 @@ struct BatchRecord {
   long long cache_lookups = 0;
   long long cache_hits = 0;
   long long cache_misses = 0;
+  /// The stream's truthful tier label ("exact" | "atom-exact" |
+  /// "heuristic"); empty for records that never reached the solver.
+  std::string tier;
+  /// Tier-0 preprocessing summary and the per-tier build wall clock.
+  int atoms = 0;
+  int reduced_vertices = 0;
+  double preprocess_seconds = 0;
+  double tier1_seconds = 0;  // exact context builds (incl. failed attempts)
+  double tier2_seconds = 0;  // heuristic restricted-family builds
   struct Row {
     int rank = 0;
     CostValue cost = 0;

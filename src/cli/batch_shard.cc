@@ -161,6 +161,7 @@ subprocess::Command WorkerCommand(const std::string& binary,
                   "--threads=" + std::to_string(options.threads),
                   "--inner-threads=" + std::to_string(options.inner_threads),
                   "--time-limit=" + std::to_string(options.time_limit),
+                  "--tier=" + options.tier,
                   "--out=-"};
   if (!options.cache) command.argv.push_back("--no-cache");
   if (options.mask_timings) command.argv.push_back("--mask-timings");
@@ -202,6 +203,14 @@ void PrintBatchStats(const BatchAggregateStats& stats, std::ostream& err) {
       << " inner-threads=" << stats.inner_threads
       << "; wall=" << stats.wall_seconds
       << "s init_total=" << stats.init_seconds_total << "s\n";
+  err << "tiers: exact=" << stats.tier_exact
+      << " atom-exact=" << stats.tier_atom_exact
+      << " heuristic=" << stats.tier_heuristic
+      << "; preprocess: atoms=" << stats.atoms_total
+      << " reduced_vertices=" << stats.reduced_vertices_total
+      << " wall=" << stats.preprocess_seconds_total
+      << "s; builds: tier1=" << stats.tier1_seconds_total
+      << "s tier2=" << stats.tier2_seconds_total << "s\n";
   err << "bag-score cache (aggregate): lookups=" << stats.cache_lookups
       << " hits=" << stats.cache_hits << " misses=" << stats.cache_misses
       << " hit_rate=" << stats.CacheHitRate() << "\n";
@@ -221,6 +230,14 @@ void WriteBatchStatsJson(const BatchAggregateStats& stats,
       << ", \"cache_hits\": " << stats.cache_hits
       << ", \"cache_misses\": " << stats.cache_misses
       << ", \"cache_hit_rate\": " << stats.CacheHitRate()
+      << ", \"tier_exact\": " << stats.tier_exact
+      << ", \"tier_atom_exact\": " << stats.tier_atom_exact
+      << ", \"tier_heuristic\": " << stats.tier_heuristic
+      << ", \"atoms\": " << stats.atoms_total
+      << ", \"reduced_vertices\": " << stats.reduced_vertices_total
+      << ", \"preprocess_seconds_total\": " << stats.preprocess_seconds_total
+      << ", \"tier1_seconds_total\": " << stats.tier1_seconds_total
+      << ", \"tier2_seconds_total\": " << stats.tier2_seconds_total
       << ", \"worker_stats\": [";
   for (size_t i = 0; i < stats.worker_stats.size(); ++i) {
     const WorkerShardStats& w = stats.worker_stats[i];
@@ -314,6 +331,21 @@ int RunShardedBatch(
             ++ws.ok;
             stats->init_seconds_total +=
                 ExtractNumberField(line, "init_seconds").value_or(0);
+            const std::string tier =
+                ExtractStringField(line, "tier").value_or("");
+            if (tier == "exact") ++stats->tier_exact;
+            if (tier == "atom-exact") ++stats->tier_atom_exact;
+            if (tier == "heuristic") ++stats->tier_heuristic;
+            stats->atoms_total += static_cast<long long>(
+                ExtractNumberField(line, "atoms").value_or(0));
+            stats->reduced_vertices_total += static_cast<long long>(
+                ExtractNumberField(line, "reduced_vertices").value_or(0));
+            stats->preprocess_seconds_total +=
+                ExtractNumberField(line, "preprocess_seconds").value_or(0);
+            stats->tier1_seconds_total +=
+                ExtractNumberField(line, "tier1_seconds").value_or(0);
+            stats->tier2_seconds_total +=
+                ExtractNumberField(line, "tier2_seconds").value_or(0);
           } else {
             ++ws.failed;
             ++failures;

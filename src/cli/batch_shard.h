@@ -37,6 +37,16 @@ struct BatchAggregateStats {
   long long cache_lookups = 0;     // summed bag-score cache counters
   long long cache_hits = 0;
   long long cache_misses = 0;
+  // Tiered-pipeline tallies, summed over ok records: how many streams
+  // resolved at each tier plus the Tier-0 and per-tier build wall clock.
+  long long tier_exact = 0;
+  long long tier_atom_exact = 0;
+  long long tier_heuristic = 0;
+  long long atoms_total = 0;
+  long long reduced_vertices_total = 0;
+  double preprocess_seconds_total = 0;
+  double tier1_seconds_total = 0;
+  double tier2_seconds_total = 0;
   std::vector<WorkerShardStats> worker_stats;
 
   double CacheHitRate() const {

@@ -10,7 +10,7 @@
 #include "cost/cost_model_registry.h"
 #include "cost/standard_costs.h"
 #include "enumeration/ckk.h"
-#include "enumeration/ranked_forest.h"
+#include "enumeration/tiered_enum.h"
 #include "graph/graph_io.h"
 #include "parallel/thread_pool.h"
 
@@ -28,6 +28,7 @@ struct Options {
   double time_limit = 30.0;
   int threads = 1;
   std::string solver = "indexed";
+  std::string tier = "auto";
   bool no_cache = false;
   bool stats = false;
   bool help = false;
@@ -64,6 +65,14 @@ constexpr char kUsage[] =
     "  --solver=indexed|scan  repair engine for the incremental DP: the\n"
     "                     segment-tree candidate index (default) or the\n"
     "                     list-scan baseline; both print identical results\n"
+    "  --tier=auto|exact|heuristic  solve pipeline (default auto): exact is\n"
+    "                     the classic full enumeration (fails on graphs\n"
+    "                     whose MinSep/PMC enumeration exceeds the budget);\n"
+    "                     auto preprocesses, solves per atom, and degrades\n"
+    "                     to the LB-Triang-seeded heuristic family when an\n"
+    "                     atom blows the budget; heuristic skips the exact\n"
+    "                     attempts. Every result line carries the truthful\n"
+    "                     tier label (exact|atom-exact|heuristic)\n"
     "  --no-cache         disable the memoized bag-score cache\n"
     "  --stats            print initialization + cache statistics to\n"
     "                     stderr\n"
@@ -117,6 +126,13 @@ bool ParseArgs(const std::vector<std::string>& args, Options* options,
         return false;
       }
       options->solver = *solver;
+    } else if (auto tier = value_of("--tier=")) {
+      if (*tier != "auto" && *tier != "exact" && *tier != "heuristic") {
+        err << "invalid value for --tier: " << *tier
+            << " (expected auto, exact, or heuristic)\n";
+        return false;
+      }
+      options->tier = *tier;
     } else if (arg == "--no-cache") {
       options->no_cache = true;
     } else if (arg == "--stats") {
@@ -144,8 +160,10 @@ constexpr char kBenchUsage[] =
     "after-first-result throughput, context init at the entry's thread\n"
     "count), appcost (ranked enumeration under the application costs —\n"
     "hypertree/fhw over the TPC-H query hypergraphs, state-space over the\n"
-    "graphical-model instances — with bag-score cache hit rates). With no\n"
-    "suite arguments (or the keyword 'all'), all suites run.\n"
+    "graphical-model instances — with bag-score cache hit rates), huge (the\n"
+    "tiered pipeline on PACE-scale graphs of >= 1000 vertices, with the\n"
+    "per-entry tier label). With no suite arguments (or the keyword 'all'),\n"
+    "all suites run.\n"
     "\n"
     "  --out=FILE   output path (default BENCH_core.json; '-' for stdout)\n"
     "  --smoke      CI-sized run: few families, capped graphs, short budgets\n"
@@ -200,7 +218,7 @@ int RunBenchCommand(const std::vector<std::string>& args, std::ostream& out,
       options.suites.push_back(arg);
     } else {
       err << "unknown suite: " << arg
-          << " (expected minseps, pmc, enum, ranked, appcost, or all)\n";
+          << " (expected minseps, pmc, enum, ranked, appcost, huge, or all)\n";
       return 1;
     }
   }
@@ -224,14 +242,19 @@ int RunBenchCommand(const std::vector<std::string>& args, std::ostream& out,
 }
 
 void PrintResult(const Options& options, const Graph& g, int rank,
-                 const Triangulation& t, std::ostream& out) {
+                 const Triangulation& t, std::ostream& out,
+                 const char* tier = nullptr) {
   if (options.format == "td") {
     out << "c result " << rank << " cost " << t.cost << " width "
-        << t.Width() << " fill " << t.FillIn(g) << "\n";
+        << t.Width() << " fill " << t.FillIn(g);
+    if (tier != nullptr) out << " tier " << tier;
+    out << "\n";
     WritePaceTd(CliqueTreeOf(t), g.NumVertices(), out);
   } else {
     out << "#" << rank << " cost=" << t.cost << " width=" << t.Width()
-        << " fill=" << t.FillIn(g) << " bags=" << t.bags.size() << "\n";
+        << " fill=" << t.FillIn(g) << " bags=" << t.bags.size();
+    if (tier != nullptr) out << " tier=" << tier;
+    out << "\n";
   }
 }
 
@@ -327,8 +350,16 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
 
   SolverOptions solver_options;
   solver_options.use_candidate_index = options.solver == "indexed";
-  RankedForestEnumerator e(g, cost, model->composition, ctx_options,
-                           solver_options);
+  TierOptions tier_options;
+  tier_options.mode = options.tier == "exact"
+                          ? TierOptions::Mode::kExact
+                          : options.tier == "heuristic"
+                                ? TierOptions::Mode::kHeuristic
+                                : TierOptions::Mode::kAuto;
+  tier_options.decomposable_cost = IsTierDecomposableCost(options.cost);
+  tier_options.exact_budget_seconds = options.time_limit;
+  TieredEnumerator e(g, cost, model->composition, ctx_options, solver_options,
+                     tier_options);
   const ContextBuildInfo& info = e.init_info();
   if (!e.init_ok()) {
     err << "initialization " << info.TerminationName() << " after "
@@ -345,11 +376,19 @@ int RunCli(const std::vector<std::string>& args, std::istream& in,
         << info.pmc_seconds << "s (" << info.num_pmcs << ") blocks="
         << info.blocks_seconds << "s (" << info.num_blocks << ") wiring="
         << info.wiring_seconds << "s threads=" << options.threads << "\n";
+    const PreprocessInfo& pre = e.preprocess_info();
+    err << "tier[" << options.tier << "]: " << TierName(e.tier())
+        << " atoms=" << pre.num_atoms
+        << " reduced_vertices=" << pre.vertices_removed
+        << " preprocess=" << pre.seconds << "s builds=" << info.num_builds
+        << " ms_terminated=" << info.num_ms_terminated
+        << " pmc_terminated=" << info.num_pmc_terminated << "\n";
   }
   for (long long rank = 1; rank <= options.top; ++rank) {
     auto t = e.Next();
     if (!t.has_value()) break;
-    PrintResult(options, g, static_cast<int>(rank), *t, out);
+    PrintResult(options, g, static_cast<int>(rank), t->triangulation, out,
+                TierName(t->tier));
   }
   if (options.stats) {
     err << "solver[" << options.solver

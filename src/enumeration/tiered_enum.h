@@ -1,0 +1,185 @@
+#ifndef MINTRI_ENUMERATION_TIERED_ENUM_H_
+#define MINTRI_ENUMERATION_TIERED_ENUM_H_
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cost/bag_cost.h"
+#include "enumeration/ranked_forest.h"
+#include "preprocess/preprocess.h"
+
+namespace mintri {
+
+/// Which tier of the solve pipeline answered.
+///  - kExact:     the classic full enumeration (complete ranked stream).
+///  - kAtomExact: Tier 0 reduced/decomposed the graph and every atom was
+///                solved exactly — the stream is still the complete set of
+///                minimal triangulations in non-decreasing κ order (ties may
+///                interleave differently than the direct path).
+///  - kHeuristic: at least one atom fell back to the LB-Triang-seeded
+///                restricted family — every result is still a genuine
+///                minimal triangulation with its true κ, but the stream may
+///                be incomplete and κ positions are not globally optimal.
+enum class SolveTier { kExact, kAtomExact, kHeuristic };
+
+const char* TierName(SolveTier tier);
+
+/// True for registry costs whose global value is a monotone function of the
+/// per-atom values under clique-separator gluing and simplicial lifting —
+/// the soundness gate for Tier-0 reduction/decomposition: width, fill,
+/// hypertree, fhw. Not width-then-fill (its encoded multiplier is a
+/// whole-graph quantity) and not state-space (an atom bag subsumed by an
+/// elimination bag can invert the product order).
+bool IsTierDecomposableCost(const std::string& cost_name);
+
+struct TierOptions {
+  enum class Mode {
+    kExact,      // the pre-tier pipeline, byte-for-byte
+    kAuto,       // try exact per atom, degrade to the heuristic family
+    kHeuristic,  // skip exact attempts entirely
+  };
+  Mode mode = Mode::kAuto;
+
+  /// Tier-0 knobs; only applied when `decomposable_cost` (the defaults are
+  /// the stream-safe reductions).
+  PreprocessOptions preprocess;
+
+  /// Set by the caller per cost (see IsTierDecomposableCost). When false,
+  /// Tier 0 is skipped and the units are exactly the connected components.
+  bool decomposable_cost = false;
+
+  /// Shared wall-clock budget across all per-unit *exact* build attempts
+  /// (Tier 1). Once spent, remaining units go straight to Tier 2 and are
+  /// tallied as ms-terminated attempts. Infinite disables the gate (each
+  /// build still honors the per-stage ContextOptions limits).
+  double exact_budget_seconds = std::numeric_limits<double>::infinity();
+};
+
+struct TieredResult {
+  Triangulation triangulation;
+  SolveTier tier;
+};
+
+/// The tiered solve pipeline: Tier 0 (simplicial reduction +
+/// clique-minimal-separator atom decomposition), Tier 1 (the existing exact
+/// ranked stack per atom, recombined into a global ranked stream through the
+/// same ranked-product machinery as RankedForestEnumerator), Tier 2
+/// (LB-Triang-seeded restricted-family enumeration when an atom exceeds its
+/// MinSep/PMC budget). Deterministic and byte-identical at every thread
+/// count; in Mode::kExact it delegates wholesale to RankedForestEnumerator,
+/// and in Mode::kAuto with no reduction/decomposition/fallback it replays
+/// that enumerator's stream byte-for-byte by construction.
+class TieredEnumerator {
+ public:
+  TieredEnumerator(const Graph& g, const BagCost& cost,
+                   CostComposition composition,
+                   const ContextOptions& options = {},
+                   const SolverOptions& solver_options = {},
+                   const TierOptions& tier_options = {});
+
+  /// Only false in Mode::kExact when a component's build hit its limits;
+  /// the auto/heuristic modes always have Tier 2 to fall back on.
+  bool init_ok() const { return forest_ ? forest_->init_ok() : true; }
+
+  /// Per-enumeration wall-clock budget, forwarded to every unit enumerator.
+  void SetDeadline(const Deadline* deadline);
+
+  /// True when a deadline cut some unit's stream short.
+  bool truncated() const;
+
+  long long num_optimizer_calls() const;
+  long long num_candidate_evals() const;
+  long long num_combine_calls() const;
+  long long num_index_updates() const;
+  long long num_range_queries() const;
+
+  /// Aggregated build breakdown over every unit (exact attempts and
+  /// heuristic family builds both count), including the per-atom termination
+  /// tallies and the folded-in Tier-0 counters.
+  const ContextBuildInfo& init_info() const {
+    return forest_ ? forest_->init_info() : init_info_;
+  }
+  double init_seconds() const { return init_info().total_seconds; }
+
+  /// The truthful label of the stream (and of every result it emits).
+  SolveTier tier() const { return tier_; }
+
+  /// Tier-0 summary over all components (zeros when Tier 0 never ran).
+  const PreprocessInfo& preprocess_info() const { return preprocess_info_; }
+
+  /// Wall clock spent in per-unit *exact* context builds (successful and
+  /// budget-terminated attempts alike).
+  double tier1_seconds() const {
+    return forest_ ? forest_->init_info().total_seconds : tier1_seconds_;
+  }
+  /// Wall clock spent building heuristic restricted-family contexts.
+  double tier2_seconds() const { return forest_ ? 0 : tier2_seconds_; }
+
+  /// The next-cheapest minimal triangulation (original vertex ids) with its
+  /// tier label. Heuristic streams are non-decreasing in κ within the
+  /// restricted family; exact/atom-exact streams are complete.
+  std::optional<TieredResult> Next();
+
+ private:
+  /// One solve unit: an atom of some connected component (or the component
+  /// itself when Tier 0 is off / found nothing to split).
+  struct Unit {
+    std::vector<int> old_of_new;  // unit labels -> g labels
+    std::unique_ptr<BagCost> restricted_cost;
+    std::unique_ptr<TriangulationContext> context;
+    std::unique_ptr<RankedTriangulationEnumerator> enumerator;
+    std::vector<Triangulation> produced;  // memoized ranked prefix
+    bool exhausted = false;
+    SolveTier tier = SolveTier::kExact;
+  };
+
+  void AddUnit(const Graph& sub, std::vector<int> old_of_new,
+               const ContextOptions& options,
+               const SolverOptions& solver_options,
+               const TierOptions& tier_options, double remaining_budget);
+  bool Materialize(int unit, size_t i);
+  long long SumOverUnits(
+      long long (RankedTriangulationEnumerator::*stat)() const) const;
+  CostValue Compose(const std::vector<size_t>& indices) const;
+  Triangulation Assemble(const std::vector<size_t>& indices);
+
+  const Graph& g_;
+  const BagCost& cost_;
+  CostComposition composition_;
+  /// Mode::kExact delegate: the literal pre-tier enumerator.
+  std::unique_ptr<RankedForestEnumerator> forest_;
+  /// True once Tier 0 changed the unit structure (eliminated a vertex or
+  /// split a component); selects the lifting assembly path.
+  bool lifted_ = false;
+  SolveTier tier_ = SolveTier::kExact;
+  ContextBuildInfo init_info_;
+  PreprocessInfo preprocess_info_;
+  double tier1_seconds_ = 0;
+  double tier2_seconds_ = 0;
+  /// Lift bags of Tier-0-eliminated vertices (g labels): each is N[v] at
+  /// elimination time, a maximal clique of every assembled triangulation.
+  std::vector<VertexSet> fixed_bags_;
+  std::vector<Unit> units_;
+
+  struct QueueEntry {
+    CostValue cost;
+    std::vector<size_t> indices;
+    bool operator>(const QueueEntry& other) const {
+      if (cost != other.cost) return cost > other.cost;
+      return indices > other.indices;
+    }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::set<std::vector<size_t>> enqueued_;
+};
+
+}  // namespace mintri
+
+#endif  // MINTRI_ENUMERATION_TIERED_ENUM_H_

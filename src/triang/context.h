@@ -55,6 +55,21 @@ struct ContextBuildInfo {
   size_t num_pmcs = 0;
   size_t num_blocks = 0;
 
+  // Per-build termination tally. One Build/BuildFromFamily call counts as
+  // one build; Accumulate sums these, so an aggregate over many atoms keeps
+  // truthful per-atom termination counts instead of conflating "budget hit
+  // during MinSep" across atoms into the single `termination` enum (which
+  // stays as the first non-completed stage for backward compatibility).
+  size_t num_builds = 0;
+  size_t num_ms_terminated = 0;
+  size_t num_pmc_terminated = 0;
+
+  // Tier-0 preprocessing fold-in (set by the tiered enumerator from its
+  // PreprocessInfo; plain Build leaves them 0). Accumulate sums these too.
+  size_t reduced_vertices = 0;
+  size_t num_atoms = 0;
+  double preprocess_seconds = 0;
+
   /// The failure names ("ms-terminated" / "pmc-terminated") are the
   /// BENCH_core.json status labels for failed builds; a successful build
   /// reports "completed" here, which the bench pipeline never emits (it
@@ -82,6 +97,12 @@ struct ContextBuildInfo {
     num_minseps += other.num_minseps;
     num_pmcs += other.num_pmcs;
     num_blocks += other.num_blocks;
+    num_builds += other.num_builds;
+    num_ms_terminated += other.num_ms_terminated;
+    num_pmc_terminated += other.num_pmc_terminated;
+    reduced_vertices += other.reduced_vertices;
+    num_atoms += other.num_atoms;
+    preprocess_seconds += other.preprocess_seconds;
     if (termination == Termination::kCompleted) {
       termination = other.termination;
     }
@@ -116,6 +137,19 @@ class TriangulationContext {
       const Graph& g, const ContextOptions& options = {},
       ContextBuildInfo* info = nullptr);
 
+  /// Builds a context over a caller-supplied *restricted family* of minimal
+  /// separators and PMCs of g (both deduplicated here) instead of the full
+  /// enumeration — the Tier-2 heuristic path: the DP over any family of
+  /// genuine minimal separators / PMCs yields genuine minimal
+  /// triangulations, just not necessarily all of them. PMCs whose
+  /// associated blocks are not realizable within the family are dropped
+  /// (never an assertion failure, unlike the bounded-width exact build).
+  /// The graph must be connected and non-empty.
+  static TriangulationContext BuildFromFamily(const Graph& g,
+                                              std::vector<VertexSet> minseps,
+                                              std::vector<VertexSet> pmcs,
+                                              ContextBuildInfo* info = nullptr);
+
   const Graph& graph() const { return graph_; }
   const std::vector<VertexSet>& minimal_separators() const { return minseps_; }
   const std::vector<VertexSet>& pmcs() const { return pmcs_; }
@@ -141,6 +175,14 @@ class TriangulationContext {
   }
 
  private:
+  // Steps 3–4 of both builds: full blocks over ctx->minseps_ plus the DP
+  // wiring of ctx->pmcs_. With allow_partial, PMCs whose associated blocks
+  // are missing from the (restricted or width-bounded) block table are
+  // skipped instead of asserting.
+  static void BuildBlocksAndWiring(TriangulationContext* ctx,
+                                   bool allow_partial, int num_threads,
+                                   ContextBuildInfo* bi);
+
   Graph graph_;
   std::vector<VertexSet> minseps_;
   std::vector<VertexSet> pmcs_;

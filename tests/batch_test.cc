@@ -15,7 +15,12 @@ namespace {
 // and cache statistic must be thread-count-invariant; elapsed seconds are
 // not.
 std::string Serialize(std::vector<BatchRecord> records) {
-  for (BatchRecord& r : records) r.init_seconds = 0;
+  for (BatchRecord& r : records) {
+    r.init_seconds = 0;
+    r.preprocess_seconds = 0;
+    r.tier1_seconds = 0;
+    r.tier2_seconds = 0;
+  }
   std::ostringstream os;
   WriteBatchJson(records, os);
   return os.str();

@@ -1,0 +1,165 @@
+#include "preprocess/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "chordal/chordality.h"
+#include "chordal/minimality.h"
+#include "test_util.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+using testutil::MakeGraph;
+
+// Decomposition only, no vertex elimination — for tests that want to see
+// the clique-minimal-separator atoms of the input itself.
+PreprocessOptions DecomposeOnly() {
+  PreprocessOptions options;
+  options.reduce_simplicial = false;
+  return options;
+}
+
+TEST(PreprocessTest, ChordalGraphFullyReduces) {
+  // A tree is chordal: simplicial elimination consumes every vertex and no
+  // atom remains.
+  Graph g = workloads::RandomTree(12, 3);
+  PreprocessResult r = Preprocess(g);
+  EXPECT_EQ(r.info.vertices_removed, 12);
+  EXPECT_TRUE(r.kept.Empty());
+  EXPECT_TRUE(r.atoms.empty());
+  EXPECT_EQ(r.eliminated.size(), 12u);
+  // Re-saturating the recorded bags rebuilds a triangulation of g — for a
+  // chordal graph, g itself (no fill).
+  Graph filled = g;
+  for (const EliminatedVertex& ev : r.eliminated) filled.SaturateSet(ev.bag);
+  EXPECT_EQ(filled.NumEdges(), g.NumEdges());
+}
+
+TEST(PreprocessTest, EliminationBagsAreCliquesAtEliminationTime) {
+  Graph g = testutil::PaperExampleGraph();
+  PreprocessResult r = Preprocess(g);
+  EXPECT_GE(r.info.vertices_removed, 1);
+  // Replaying the eliminations in order: each bag must be a clique once all
+  // earlier fills (none for plain simplicial reduction) are applied.
+  Graph replay = g;
+  for (const EliminatedVertex& ev : r.eliminated) {
+    EXPECT_TRUE(replay.IsClique(ev.bag)) << "vertex " << ev.vertex;
+    replay.SaturateSet(ev.bag);
+  }
+}
+
+TEST(PreprocessTest, CycleDoesNotReduceOrSplit) {
+  // C4: no simplicial vertex, no clique separator — one atom, the graph.
+  Graph g = workloads::Cycle(4);
+  PreprocessResult r = Preprocess(g);
+  EXPECT_EQ(r.info.vertices_removed, 0);
+  ASSERT_EQ(r.atoms.size(), 1u);
+  EXPECT_EQ(r.atoms[0].Count(), 4);
+}
+
+TEST(PreprocessTest, AlmostSimplicialOffByDefault) {
+  // The C4 stream-safety counterexample: an almost-simplicial elimination
+  // commits to one of C4's two minimal triangulations, so the default
+  // pipeline must not take it.
+  PreprocessOptions defaults;
+  EXPECT_FALSE(defaults.reduce_almost_simplicial);
+  Graph g = workloads::Cycle(4);
+  PreprocessResult r = Preprocess(g);
+  EXPECT_EQ(r.info.vertices_removed, 0);
+}
+
+TEST(PreprocessTest, AlmostSimplicialReductionIsWidthSafe) {
+  // With the flag on, C5 reduces through degree-2 almost-simplicial
+  // vertices; the recorded bags glue to a *valid* minimal triangulation of
+  // width 2 = treewidth (the width-safety condition), even though the
+  // stream is no longer the full MT(G).
+  PreprocessOptions options;
+  options.reduce_almost_simplicial = true;
+  Graph g = workloads::Cycle(5);
+  PreprocessResult r = Preprocess(g, options);
+  EXPECT_EQ(r.info.vertices_removed, 5);
+  Graph filled = g;
+  int width = 0;
+  for (const EliminatedVertex& ev : r.eliminated) {
+    filled.SaturateSet(ev.bag);
+    width = std::max(width, ev.bag.Count() - 1);
+  }
+  EXPECT_TRUE(IsChordal(filled));
+  EXPECT_TRUE(IsMinimalTriangulation(g, filled));
+  EXPECT_EQ(width, 2);
+}
+
+TEST(PreprocessTest, CutVertexSplitsIntoAtoms) {
+  // Bowtie: triangles {0,1,2} and {2,3,4} share the cut vertex 2 — a
+  // clique minimal separator of size 1.
+  Graph g = MakeGraph(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+  PreprocessResult r = Preprocess(g, DecomposeOnly());
+  ASSERT_EQ(r.atoms.size(), 2u);
+  EXPECT_EQ(r.atoms[0].Count(), 3);
+  EXPECT_EQ(r.atoms[1].Count(), 3);
+  EXPECT_TRUE(r.atoms[0].Intersect(r.atoms[1]).Count() == 1);
+}
+
+TEST(PreprocessTest, CliqueEdgeSeparatorSplits) {
+  // Two C4s sharing the saturated pair {0, 1}: {0,1} is a clique minimal
+  // separator, so the decomposition yields two 4-vertex atoms overlapping
+  // exactly in the shared edge.
+  Graph g = MakeGraph(6, {{0, 1}, {0, 2}, {2, 3}, {3, 1},   // left cycle
+                          {0, 4}, {4, 5}, {5, 1}});          // right cycle
+  std::vector<VertexSet> atoms = CliqueMinimalSeparatorAtoms(g);
+  ASSERT_EQ(atoms.size(), 2u);
+  for (const VertexSet& a : atoms) EXPECT_EQ(a.Count(), 4);
+  VertexSet overlap = atoms[0].Intersect(atoms[1]);
+  EXPECT_EQ(overlap.Count(), 2);
+  EXPECT_TRUE(g.IsClique(overlap));
+}
+
+TEST(PreprocessTest, AtomsAreAtomsOnRandomGraphs) {
+  // On a small random corpus: the atoms cover every edge, pairwise overlap
+  // in cliques of g, and — the fixed point — have no clique minimal
+  // separators of their own.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(11, 0.3, seed);
+    std::vector<VertexSet> atoms = CliqueMinimalSeparatorAtoms(g);
+    ASSERT_FALSE(atoms.empty()) << "seed=" << seed;
+    for (const auto& [u, v] : g.Edges()) {
+      bool covered = false;
+      for (const VertexSet& a : atoms) {
+        if (a.Contains(u) && a.Contains(v)) covered = true;
+      }
+      EXPECT_TRUE(covered) << "edge " << u << "-" << v << " seed=" << seed;
+    }
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      for (size_t j = i + 1; j < atoms.size(); ++j) {
+        EXPECT_TRUE(g.IsClique(atoms[i].Intersect(atoms[j])))
+            << "seed=" << seed;
+      }
+      Graph sub = g.InducedSubgraph(atoms[i]);
+      EXPECT_EQ(CliqueMinimalSeparatorAtoms(sub).size(), 1u)
+          << "atom " << i << " of seed " << seed << " is not atomic";
+    }
+  }
+}
+
+TEST(PreprocessTest, DegeneracyLowerBound) {
+  EXPECT_EQ(DegeneracyLowerBound(workloads::Path(6)), 1);
+  EXPECT_EQ(DegeneracyLowerBound(workloads::Cycle(7)), 2);
+  EXPECT_EQ(DegeneracyLowerBound(workloads::Complete(5)), 4);
+  EXPECT_EQ(DegeneracyLowerBound(workloads::Grid(4, 4)), 2);
+}
+
+TEST(PreprocessTest, InfoCountsAtoms) {
+  Graph g = MakeGraph(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+  PreprocessResult r = Preprocess(g, DecomposeOnly());
+  EXPECT_EQ(r.info.num_atoms, 2);
+  EXPECT_EQ(r.info.largest_atom, 3);
+  EXPECT_EQ(r.info.smallest_atom, 3);
+  EXPECT_GE(r.info.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace mintri

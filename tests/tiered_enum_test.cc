@@ -1,0 +1,311 @@
+#include "enumeration/tiered_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "chordal/chordality.h"
+#include "chordal/lb_triang.h"
+#include "chordal/minimality.h"
+#include "cost/standard_costs.h"
+#include "test_util.h"
+#include "triang/triangulation.h"
+#include "workloads/named_graphs.h"
+#include "workloads/random_graphs.h"
+
+namespace mintri {
+namespace {
+
+using testutil::FillSet;
+using testutil::MakeGraph;
+
+constexpr int kExhaustCap = 20000;
+
+// Full stream of one enumerator as (cost sequence, cost -> fill-set class).
+struct Stream {
+  std::vector<CostValue> costs;
+  std::map<CostValue, std::set<FillSet>> classes;
+};
+
+Stream Drain(const Graph& g, TieredEnumerator* e) {
+  Stream s;
+  for (int i = 0; i < kExhaustCap; ++i) {
+    auto t = e->Next();
+    if (!t.has_value()) return s;
+    s.costs.push_back(t->triangulation.cost);
+    s.classes[t->triangulation.cost].insert(
+        testutil::FillKey(g, t->triangulation.filled));
+  }
+  ADD_FAILURE() << "stream did not terminate within " << kExhaustCap;
+  return s;
+}
+
+Stream DrainDirect(const Graph& g, RankedForestEnumerator* e) {
+  Stream s;
+  for (int i = 0; i < kExhaustCap; ++i) {
+    auto t = e->Next();
+    if (!t.has_value()) return s;
+    s.costs.push_back(t->cost);
+    s.classes[t->cost].insert(testutil::FillKey(g, t->filled));
+  }
+  ADD_FAILURE() << "stream did not terminate within " << kExhaustCap;
+  return s;
+}
+
+TierOptions AutoOptions(bool decomposable) {
+  TierOptions t;
+  t.mode = TierOptions::Mode::kAuto;
+  t.decomposable_cost = decomposable;
+  return t;
+}
+
+std::vector<Graph> DifferentialCorpus() {
+  std::vector<Graph> corpus;
+  corpus.push_back(testutil::PaperExampleGraph());
+  corpus.push_back(workloads::Cycle(4));
+  corpus.push_back(workloads::Cycle(6));
+  corpus.push_back(MakeGraph(4, {{1, 2}}));  // isolated vertices
+  // Bowtie: a cut vertex, so Tier 0 genuinely splits.
+  corpus.push_back(
+      MakeGraph(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}}));
+  // C4s glued on a saturated edge: a size-2 clique separator.
+  corpus.push_back(MakeGraph(
+      6, {{0, 1}, {0, 2}, {2, 3}, {3, 1}, {0, 4}, {4, 5}, {5, 1}}));
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    corpus.push_back(workloads::ConnectedErdosRenyi(9, 0.3, seed));
+  }
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    corpus.push_back(workloads::ErdosRenyi(10, 0.25, seed));  // may split
+  }
+  return corpus;
+}
+
+// The tentpole differential: whenever Tier 1 suffices, the tiered stream
+// must equal the direct exact stream — same κ sequence and, within every
+// κ class, the same set of triangulations (tie order inside a class may
+// legally differ once Tier 0 rewrites the units).
+TEST(TieredEnumTest, DifferentialWidthEqualsDirect) {
+  for (const Graph& g : DifferentialCorpus()) {
+    WidthCost width;
+    RankedForestEnumerator direct(g, width, CostComposition::kMax);
+    ASSERT_TRUE(direct.init_ok());
+    Stream expected = DrainDirect(g, &direct);
+
+    TieredEnumerator tiered(g, width, CostComposition::kMax, {}, {},
+                            AutoOptions(true));
+    EXPECT_NE(tiered.tier(), SolveTier::kHeuristic);
+    Stream got = Drain(g, &tiered);
+    EXPECT_EQ(got.costs, expected.costs) << "n=" << g.NumVertices();
+    EXPECT_EQ(got.classes, expected.classes) << "n=" << g.NumVertices();
+  }
+}
+
+TEST(TieredEnumTest, DifferentialFillSumEqualsDirect) {
+  for (const Graph& g : DifferentialCorpus()) {
+    FillInCost fill;
+    RankedForestEnumerator direct(g, fill, CostComposition::kSum);
+    ASSERT_TRUE(direct.init_ok());
+    Stream expected = DrainDirect(g, &direct);
+
+    TieredEnumerator tiered(g, fill, CostComposition::kSum, {}, {},
+                            AutoOptions(true));
+    Stream got = Drain(g, &tiered);
+    EXPECT_EQ(got.costs, expected.costs) << "n=" << g.NumVertices();
+    EXPECT_EQ(got.classes, expected.classes) << "n=" << g.NumVertices();
+  }
+}
+
+// A non-decomposable cost keeps the units at whole connected components, so
+// the stream must be byte-for-byte the forest stream (tie order included).
+TEST(TieredEnumTest, NonDecomposableCostReplaysForestExactly) {
+  Graph g = testutil::PaperExampleGraph();
+  WidthCost width;
+  RankedForestEnumerator direct(g, width, CostComposition::kMax);
+  TieredEnumerator tiered(g, width, CostComposition::kMax, {}, {},
+                          AutoOptions(false));
+  EXPECT_EQ(tiered.tier(), SolveTier::kExact);
+  while (true) {
+    auto a = direct.Next();
+    auto b = tiered.Next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_EQ(a->cost, b->triangulation.cost);
+    EXPECT_EQ(testutil::FillKey(g, a->filled),
+              testutil::FillKey(g, b->triangulation.filled));
+  }
+}
+
+TEST(TieredEnumTest, FamilyCorpusPrefixDifferential) {
+  // Medium graphs (n <= 40): compare the first 50 κ values of the tiered
+  // stream against the direct stream at several thread counts.
+  std::vector<Graph> graphs = {workloads::Grid(4, 5), workloads::Queen(4),
+                               workloads::ConnectedErdosRenyi(24, 0.12, 5)};
+  for (const Graph& g : graphs) {
+    WidthCost width;
+    RankedForestEnumerator direct(g, width, CostComposition::kMax);
+    ASSERT_TRUE(direct.init_ok());
+    std::vector<CostValue> expected;
+    for (int i = 0; i < 50; ++i) {
+      auto t = direct.Next();
+      if (!t.has_value()) break;
+      expected.push_back(t->cost);
+    }
+    for (int threads : {1, 2, 4}) {
+      ContextOptions options;
+      options.num_threads = threads;
+      TieredEnumerator tiered(g, width, CostComposition::kMax, options, {},
+                              AutoOptions(true));
+      EXPECT_NE(tiered.tier(), SolveTier::kHeuristic);
+      std::vector<CostValue> got;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        auto t = tiered.Next();
+        ASSERT_TRUE(t.has_value()) << "threads=" << threads;
+        got.push_back(t->triangulation.cost);
+      }
+      EXPECT_EQ(got, expected) << "n=" << g.NumVertices()
+                               << " threads=" << threads;
+    }
+  }
+}
+
+TEST(TieredEnumTest, StreamIdenticalAtEveryThreadCount) {
+  Graph g = workloads::ConnectedErdosRenyi(18, 0.2, 9);
+  WidthCost width;
+  std::vector<Stream> streams;
+  for (int threads : {1, 2, 4}) {
+    ContextOptions options;
+    options.num_threads = threads;
+    TieredEnumerator e(g, width, CostComposition::kMax, options, {},
+                       AutoOptions(true));
+    streams.push_back(Drain(g, &e));
+  }
+  EXPECT_EQ(streams[0].costs, streams[1].costs);
+  EXPECT_EQ(streams[0].costs, streams[2].costs);
+  EXPECT_EQ(streams[0].classes, streams[1].classes);
+  EXPECT_EQ(streams[0].classes, streams[2].classes);
+}
+
+TEST(TieredEnumTest, TierLabels) {
+  WidthCost width;
+  {
+    // A simplicial vertex exists: Tier 0 rewrites, label atom-exact.
+    Graph g = testutil::PaperExampleGraph();
+    TieredEnumerator e(g, width, CostComposition::kMax, {}, {},
+                       AutoOptions(true));
+    EXPECT_EQ(e.tier(), SolveTier::kAtomExact);
+    EXPECT_GE(e.preprocess_info().vertices_removed, 1);
+  }
+  {
+    // C4 neither reduces nor splits: the stream is literally exact.
+    Graph g = workloads::Cycle(4);
+    TieredEnumerator e(g, width, CostComposition::kMax, {}, {},
+                       AutoOptions(true));
+    EXPECT_EQ(e.tier(), SolveTier::kExact);
+  }
+  {
+    TierOptions t = AutoOptions(true);
+    t.mode = TierOptions::Mode::kHeuristic;
+    Graph g = workloads::Cycle(6);
+    TieredEnumerator e(g, width, CostComposition::kMax, {}, {}, t);
+    EXPECT_EQ(e.tier(), SolveTier::kHeuristic);
+  }
+}
+
+TEST(TieredEnumTest, HeuristicStreamIsValidAndSeeded) {
+  // Tier-2 results are genuine minimal triangulations with truthful costs,
+  // emitted in non-decreasing κ, and the first is at least as cheap as the
+  // LB-Triang seed that anchors the restricted family.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Graph g = workloads::ConnectedErdosRenyi(14, 0.25, seed);
+    WidthCost width;
+    TierOptions t = AutoOptions(true);
+    t.mode = TierOptions::Mode::kHeuristic;
+    TieredEnumerator e(g, width, CostComposition::kMax, {}, {}, t);
+    EXPECT_EQ(e.tier(), SolveTier::kHeuristic);
+    Graph seed_triang = LbTriangMinDegree(g);
+    CostValue last = -1;
+    int count = 0;
+    bool first = true;
+    while (auto r = e.Next()) {
+      const Triangulation& tr = r->triangulation;
+      EXPECT_TRUE(IsChordal(tr.filled)) << "seed=" << seed;
+      EXPECT_TRUE(IsMinimalTriangulation(g, tr.filled)) << "seed=" << seed;
+      EXPECT_EQ(tr.cost, static_cast<CostValue>(tr.Width()))
+          << "seed=" << seed;
+      EXPECT_GE(tr.cost, last) << "seed=" << seed;
+      if (first) {
+        // First result is at most the seed triangulation's width.
+        int lb_width = 0;
+        for (const VertexSet& bag :
+             TriangulationFromChordal(g, Graph(seed_triang)).bags) {
+          lb_width = std::max(lb_width, bag.Count() - 1);
+        }
+        EXPECT_LE(tr.cost, static_cast<CostValue>(lb_width))
+            << "seed=" << seed;
+        first = false;
+      }
+      last = tr.cost;
+      if (++count >= 200) break;
+    }
+    EXPECT_GE(count, 1) << "seed=" << seed;
+  }
+}
+
+TEST(TieredEnumTest, ExhaustedBudgetFallsBackWithTruthfulTally) {
+  Graph g = workloads::ConnectedErdosRenyi(16, 0.3, 2);
+  WidthCost width;
+  TierOptions t = AutoOptions(true);
+  t.exact_budget_seconds = 0;  // the shared exact budget is already spent
+  TieredEnumerator e(g, width, CostComposition::kMax, {}, {}, t);
+  EXPECT_EQ(e.tier(), SolveTier::kHeuristic);
+  // Per-atom tally: every skipped exact attempt counts as an ms-terminated
+  // build, and each fallback adds one completed family build on top.
+  EXPECT_GE(e.init_info().num_ms_terminated, 1u);
+  EXPECT_GT(e.init_info().num_builds, e.init_info().num_ms_terminated +
+                                          e.init_info().num_pmc_terminated);
+  auto r = e.Next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(IsMinimalTriangulation(g, r->triangulation.filled));
+  EXPECT_GT(e.tier2_seconds(), 0.0);
+}
+
+TEST(TieredEnumTest, ExactModeDelegatesByteForByte) {
+  Graph g = testutil::PaperExampleGraph();
+  WidthCost width;
+  TierOptions t;
+  t.mode = TierOptions::Mode::kExact;
+  RankedForestEnumerator direct(g, width, CostComposition::kMax);
+  TieredEnumerator tiered(g, width, CostComposition::kMax, {}, {}, t);
+  EXPECT_EQ(tiered.tier(), SolveTier::kExact);
+  while (true) {
+    auto a = direct.Next();
+    auto b = tiered.Next();
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (!a.has_value()) break;
+    EXPECT_EQ(a->cost, b->triangulation.cost);
+    EXPECT_EQ(a->bags, b->triangulation.bags);
+    EXPECT_EQ(a->parent, b->triangulation.parent);
+    EXPECT_EQ(a->separators, b->triangulation.separators);
+  }
+}
+
+TEST(TieredEnumTest, ChordalInputEmitsExactlyOneResult) {
+  // Fully reduced by Tier 0: the unique minimal triangulation of a chordal
+  // graph is the graph itself.
+  Graph g = workloads::RandomTree(20, 4);
+  FillInCost fill;
+  TieredEnumerator e(g, fill, CostComposition::kSum, {}, {},
+                     AutoOptions(true));
+  EXPECT_EQ(e.tier(), SolveTier::kAtomExact);
+  EXPECT_EQ(e.preprocess_info().vertices_removed, 20);
+  auto r = e.Next();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->triangulation.cost, 0);  // no fill
+  EXPECT_EQ(r->triangulation.filled.NumEdges(), g.NumEdges());
+  EXPECT_FALSE(e.Next().has_value());
+}
+
+}  // namespace
+}  // namespace mintri
